@@ -1,0 +1,82 @@
+//! Attacks *inside* the `Broadcast_Single_Bit` / Phase-King machinery.
+//!
+//! The consensus protocol's safety rests on `Broadcast_Single_Bit` being
+//! error-free for `t < n/3`; these strategies attack the primitive itself
+//! (equivocating sources, lying kings, flipped votes). The protocol must
+//! shrug them off — the property tests assert that agreement and the
+//! diagnosis-graph invariants survive.
+
+use mvbc_bsb::BsbHooks;
+use mvbc_core::ProtocolHooks;
+use mvbc_netsim::NodeId;
+
+/// Equivocates as a broadcast source (sends different bits to different
+/// recipients in round 0) and flips its Phase-King votes toward whatever
+/// the recipient id suggests, maximising disagreement pressure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BsbEquivocator;
+
+impl BsbHooks for BsbEquivocator {
+    fn source_bits(&mut self, _session: &'static str, to: NodeId, bits: &mut [bool]) {
+        for b in bits.iter_mut() {
+            *b = to.is_multiple_of(2);
+        }
+    }
+
+    fn king_values(&mut self, _session: &'static str, _phase: usize, to: NodeId, values: &mut [bool]) {
+        for v in values.iter_mut() {
+            *v = to.is_multiple_of(2);
+        }
+    }
+
+    fn king_proposals(&mut self, _session: &'static str, _phase: usize, to: NodeId, proposals: &mut [u8]) {
+        for p in proposals.iter_mut() {
+            *p = if to.is_multiple_of(2) { 2 } else { 1 };
+        }
+    }
+}
+
+impl ProtocolHooks for BsbEquivocator {}
+
+/// Lies only when it is the king: tells half the recipients `true` and
+/// the other half `false`, trying to split the non-confident processors.
+/// Phase-King tolerates this because a later fault-free king re-unifies
+/// the values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KingLiar;
+
+impl BsbHooks for KingLiar {
+    fn king_bits(&mut self, _session: &'static str, _phase: usize, to: NodeId, bits: &mut [bool]) {
+        for b in bits.iter_mut() {
+            *b = to.is_multiple_of(2);
+        }
+    }
+}
+
+impl ProtocolHooks for KingLiar {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivocator_differs_by_recipient() {
+        let mut a = BsbEquivocator;
+        let mut bits_even = vec![false];
+        a.source_bits("s", 2, &mut bits_even);
+        let mut bits_odd = vec![false];
+        a.source_bits("s", 3, &mut bits_odd);
+        assert_ne!(bits_even, bits_odd);
+    }
+
+    #[test]
+    fn king_liar_splits() {
+        let mut a = KingLiar;
+        let mut b0 = vec![true];
+        a.king_bits("s", 0, 0, &mut b0);
+        let mut b1 = vec![true];
+        a.king_bits("s", 0, 1, &mut b1);
+        assert_eq!(b0, vec![true]);
+        assert_eq!(b1, vec![false]);
+    }
+}

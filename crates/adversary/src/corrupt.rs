@@ -1,0 +1,167 @@
+//! Symbol-corruption strategies for the matching and diagnosis stages.
+
+use mvbc_bsb::BsbHooks;
+use mvbc_core::ProtocolHooks;
+use mvbc_netsim::NodeId;
+
+/// Flips every byte of a payload (a maximally visible corruption).
+fn flip_payload(payload: &mut [u8]) {
+    for b in payload {
+        *b ^= 0xFF;
+    }
+}
+
+/// Sends a corrupted matching-stage symbol (line 1(a)) to the listed
+/// targets and behaves honestly otherwise.
+///
+/// When the targets end up outside `P_match` they detect the
+/// inconsistency (line 2(a)) and force the diagnosis stage, which removes
+/// an edge adjacent to this processor — the canonical misbehaviour the
+/// paper's Lemma 4 case 1 analyses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorruptSymbolTo {
+    targets: Vec<NodeId>,
+    /// Only corrupt in generations `g < until` (`usize::MAX` = always).
+    until: usize,
+}
+
+impl CorruptSymbolTo {
+    /// Corrupts the symbol sent to each of `targets`, in every generation.
+    pub fn new(targets: Vec<NodeId>) -> Self {
+        CorruptSymbolTo {
+            targets,
+            until: usize::MAX,
+        }
+    }
+
+    /// Corrupts only during the first `generations` generations.
+    pub fn for_first_generations(targets: Vec<NodeId>, generations: usize) -> Self {
+        CorruptSymbolTo {
+            targets,
+            until: generations,
+        }
+    }
+}
+
+impl BsbHooks for CorruptSymbolTo {}
+
+impl ProtocolHooks for CorruptSymbolTo {
+    fn matching_symbol(&mut self, g: usize, to: NodeId, payload: &mut Vec<u8>) -> bool {
+        if g < self.until && self.targets.contains(&to) {
+            flip_payload(payload);
+        }
+        true
+    }
+}
+
+/// Equivocates in the matching stage: sends the true symbol to low-id
+/// processors and a corrupted one to high-id processors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EquivocateSymbol;
+
+impl BsbHooks for EquivocateSymbol {}
+
+impl ProtocolHooks for EquivocateSymbol {
+    fn matching_symbol(&mut self, _g: usize, to: NodeId, payload: &mut Vec<u8>) -> bool {
+        if to % 2 == 1 {
+            flip_payload(payload);
+        }
+        true
+    }
+}
+
+/// Broadcasts a corrupted `S_j[j]` in the diagnosis stage (line 3(a)),
+/// making `R#` inconsistent and sacrificing this processor's edges to
+/// every honest processor that received the true symbol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorruptDiagnosisSymbol;
+
+impl BsbHooks for CorruptDiagnosisSymbol {}
+
+impl ProtocolHooks for CorruptDiagnosisSymbol {
+    fn diagnosis_symbol_bits(&mut self, _g: usize, bits: &mut Vec<bool>) {
+        for b in bits {
+            *b = !*b;
+        }
+    }
+
+    // Also trigger the diagnosis stage in the first place by announcing a
+    // (false) detection whenever this processor is outside P_match.
+    fn detected_flag(&mut self, _g: usize, flag: &mut bool) {
+        *flag = true;
+    }
+}
+
+/// Uses a different input value than the one it was given (per-generation
+/// shift). Indistinguishable from "a processor whose input really
+/// differs": honest processors either match without it or decide the
+/// default if unanimity is broken — never an inconsistent decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShiftedInput;
+
+impl BsbHooks for ShiftedInput {}
+
+impl ProtocolHooks for ShiftedInput {
+    fn input_override(&mut self, _g: usize, value: &mut Vec<u8>) {
+        for b in value.iter_mut() {
+            *b = b.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_symbol_only_targets() {
+        let mut a = CorruptSymbolTo::new(vec![2]);
+        let mut p1 = vec![0xAA, 0x55];
+        assert!(a.matching_symbol(0, 1, &mut p1));
+        assert_eq!(p1, vec![0xAA, 0x55]);
+        let mut p2 = vec![0xAA, 0x55];
+        assert!(a.matching_symbol(0, 2, &mut p2));
+        assert_eq!(p2, vec![0x55, 0xAA]);
+    }
+
+    #[test]
+    fn corrupt_symbol_generation_bound() {
+        let mut a = CorruptSymbolTo::for_first_generations(vec![1], 2);
+        let mut p = vec![0x00];
+        a.matching_symbol(1, 1, &mut p);
+        assert_eq!(p, vec![0xFF]);
+        let mut p = vec![0x00];
+        a.matching_symbol(2, 1, &mut p);
+        assert_eq!(p, vec![0x00]);
+    }
+
+    #[test]
+    fn equivocator_splits_by_parity() {
+        let mut a = EquivocateSymbol;
+        let mut even = vec![1u8];
+        a.matching_symbol(0, 2, &mut even);
+        assert_eq!(even, vec![1]);
+        let mut odd = vec![1u8];
+        a.matching_symbol(0, 3, &mut odd);
+        assert_eq!(odd, vec![0xFE]);
+    }
+
+    #[test]
+    fn diagnosis_corruptor_flips_bits_and_detects() {
+        let mut a = CorruptDiagnosisSymbol;
+        let mut bits = vec![true, false];
+        a.diagnosis_symbol_bits(0, &mut bits);
+        assert_eq!(bits, vec![false, true]);
+        let mut flag = false;
+        a.detected_flag(0, &mut flag);
+        assert!(flag);
+    }
+
+    #[test]
+    fn shifted_input_changes_value() {
+        let mut a = ShiftedInput;
+        let mut v = vec![0x00, 0xFF];
+        a.input_override(0, &mut v);
+        assert_eq!(v, vec![0x01, 0x00]);
+    }
+}

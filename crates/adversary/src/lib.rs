@@ -1,0 +1,61 @@
+//! Byzantine attack strategies for the Liang-Vaidya consensus protocol.
+//!
+//! The paper's adversary (§1) has complete knowledge of every processor's
+//! state, controls up to `t < n/3` processors, and can make them deviate
+//! arbitrarily in message *content* (channels are authenticated, so
+//! identity cannot be forged). In this workspace a Byzantine processor
+//! executes the honest code with a [`ProtocolHooks`](mvbc_core::ProtocolHooks)
+//! implementation that mutates outgoing information at every send point,
+//! including inside the `Broadcast_Single_Bit` sub-protocol.
+//!
+//! The strategies here cover every hook point at least once and include
+//! the orchestrated [`WorstCaseDiagnosis`] adversary that drives the
+//! diagnosis stage toward its `t(t+1)` bound (Theorem 1), used by
+//! experiment E4.
+//!
+//! # Examples
+//!
+//! A corrupted symbol triggers detection and diagnosis, yet every
+//! fault-free processor still decides the common input:
+//!
+//! ```
+//! use mvbc_adversary::CorruptSymbolTo;
+//! use mvbc_core::{simulate_consensus, ConsensusConfig, NoopHooks, ProtocolHooks};
+//! use mvbc_metrics::MetricsSink;
+//!
+//! let cfg = ConsensusConfig::new(4, 1, 64)?;
+//! let v = vec![7u8; 64];
+//! let hooks: Vec<Box<dyn ProtocolHooks>> = vec![
+//!     Box::new(CorruptSymbolTo::new(vec![3])), // node 0 is Byzantine
+//!     NoopHooks::boxed(),
+//!     NoopHooks::boxed(),
+//!     NoopHooks::boxed(),
+//! ];
+//! let run = simulate_consensus(&cfg, vec![v.clone(); 4], hooks, MetricsSink::new());
+//! for honest in 1..4 {
+//!     assert_eq!(run.outputs[honest], v);
+//! }
+//! assert!(run.reports[1].diagnosis_invocations >= 1);
+//! # Ok::<(), mvbc_core::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bsb_attacks;
+mod corrupt;
+mod liars;
+mod random;
+mod scripted;
+mod silent;
+mod sleeper;
+mod worst_case;
+
+pub use bsb_attacks::{BsbEquivocator, KingLiar};
+pub use corrupt::{CorruptDiagnosisSymbol, CorruptSymbolTo, EquivocateSymbol, ShiftedInput};
+pub use liars::{FalseDetect, LieMVector, LieTrust};
+pub use random::RandomAdversary;
+pub use scripted::{ScriptedAdversary, Strategy, SymbolAction, VectorLie};
+pub use silent::{CrashAt, Silent};
+pub use sleeper::{Deadline, Sleeper};
+pub use worst_case::WorstCaseDiagnosis;

@@ -1,0 +1,345 @@
+//! Enumerable scripted adversary for exhaustive state-space sweeps.
+//!
+//! The Byzantine adversary's *content* choices at each protocol decision
+//! point form a finite space once each choice is restricted to a small
+//! set of canonical behaviours (honest / flip / drop / uniform lies).
+//! This is the standard reduction used when model-checking Byzantine
+//! protocols: for the symbol-comparison logic of Algorithm 1, a faulty
+//! symbol either equals the honest one or it does not — *which* wrong
+//! value it takes never changes any comparison outcome, so one canonical
+//! corruption per relation class covers the full behaviour space of the
+//! matching/checking/diagnosis state machine.
+//!
+//! [`Strategy`] captures one element of that space; [`Strategy::grid`]
+//! enumerates all of them for a given `n`. The workspace-level
+//! `exhaustive_small_n` test sweeps every strategy, every choice of the
+//! faulty processor and several input patterns, asserting Termination,
+//! Consistency, Validity and the diagnosis-graph invariants on every
+//! branch.
+
+use mvbc_bsb::BsbHooks;
+use mvbc_core::ProtocolHooks;
+use mvbc_netsim::NodeId;
+
+/// Per-receiver treatment of the matching-stage symbol (line 1(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolAction {
+    /// Send the correct coded symbol.
+    Honest,
+    /// Send a corrupted symbol (bitwise complement — canonical "wrong").
+    Flip,
+    /// Send nothing (the receiver records `⊥`).
+    Drop,
+}
+
+/// Uniform lie applied to a broadcast boolean vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorLie {
+    /// Broadcast the truthful vector.
+    Truthful,
+    /// Claim `true` everywhere.
+    AllTrue,
+    /// Claim `false` everywhere.
+    AllFalse,
+}
+
+impl VectorLie {
+    const ALL: [VectorLie; 3] = [VectorLie::Truthful, VectorLie::AllTrue, VectorLie::AllFalse];
+
+    fn apply(self, v: &mut [bool]) {
+        match self {
+            VectorLie::Truthful => {}
+            VectorLie::AllTrue => v.iter_mut().for_each(|b| *b = true),
+            VectorLie::AllFalse => v.iter_mut().for_each(|b| *b = false),
+        }
+    }
+}
+
+/// One complete scripted behaviour for a single Byzantine processor.
+///
+/// Applied identically in every generation (the diagnosis graph
+/// remembers across generations, so a repeated strategy exercises the
+/// isolation machinery).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Strategy {
+    /// Matching-stage symbol treatment per receiver id (length `n`; the
+    /// entry at the adversary's own id is ignored).
+    pub symbols: Vec<SymbolAction>,
+    /// Lie applied to the `M` vector before broadcast (line 1(d)).
+    pub m_lie: VectorLie,
+    /// Announce `Detected = true` as an outsider even when the received
+    /// symbols are consistent (line 2(b)).
+    pub false_detect: bool,
+    /// Corrupt the diagnosis-stage broadcast of `S_j[j]` (line 3(a)).
+    pub corrupt_rsharp: bool,
+    /// Lie applied to the `Trust` vector before broadcast (line 3(d)).
+    pub trust_lie: VectorLie,
+    /// Equivocate inside every `Broadcast_Single_Bit` source round:
+    /// flip the sourced bits for odd-id recipients.
+    pub bsb_equivocate: bool,
+    /// Use a different input value (complement of the honest one).
+    pub input_flip: bool,
+}
+
+impl Strategy {
+    /// The fully honest strategy (useful as a grid sanity anchor).
+    pub fn honest(n: usize) -> Self {
+        Strategy {
+            symbols: vec![SymbolAction::Honest; n],
+            m_lie: VectorLie::Truthful,
+            false_detect: false,
+            corrupt_rsharp: false,
+            trust_lie: VectorLie::Truthful,
+            bsb_equivocate: false,
+            input_flip: false,
+        }
+    }
+
+    /// Enumerates the full strategy grid for the Byzantine processor
+    /// `me` in an `n`-processor network: `3^(n-1)` symbol patterns (one
+    /// action per receiver) × 3 `M` lies × 2 detect × 2 `R#` × 3 trust
+    /// lies × 2 BSB equivocation × 2 input choices.
+    ///
+    /// The count grows as `144 · 3^(n-1)`; intended for `n = 4` (3 888
+    /// strategies) and smaller.
+    pub fn grid(n: usize, me: NodeId) -> Vec<Strategy> {
+        let receivers: Vec<usize> = (0..n).filter(|&j| j != me).collect();
+        let mut out = Vec::new();
+        let patterns = 3usize.pow(receivers.len() as u32);
+        for pat in 0..patterns {
+            let mut symbols = vec![SymbolAction::Honest; n];
+            let mut rest = pat;
+            for &j in &receivers {
+                symbols[j] = match rest % 3 {
+                    0 => SymbolAction::Honest,
+                    1 => SymbolAction::Flip,
+                    _ => SymbolAction::Drop,
+                };
+                rest /= 3;
+            }
+            for m_lie in VectorLie::ALL {
+                for false_detect in [false, true] {
+                    for corrupt_rsharp in [false, true] {
+                        for trust_lie in VectorLie::ALL {
+                            for bsb_equivocate in [false, true] {
+                                for input_flip in [false, true] {
+                                    out.push(Strategy {
+                                        symbols: symbols.clone(),
+                                        m_lie,
+                                        false_detect,
+                                        corrupt_rsharp,
+                                        trust_lie,
+                                        bsb_equivocate,
+                                        input_flip,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A reduced grid that drops the two axes already swept by dedicated
+    /// BSB-level tests (`bsb_equivocate`) and the input axis, keeping
+    /// the protocol-stage lies exhaustive. `36 · 3^(n-1)` entries.
+    pub fn protocol_grid(n: usize, me: NodeId) -> Vec<Strategy> {
+        Strategy::grid(n, me)
+            .into_iter()
+            .filter(|s| !s.bsb_equivocate && !s.input_flip)
+            .collect()
+    }
+
+    /// True when every component is the honest choice.
+    pub fn is_honest(&self) -> bool {
+        self.symbols.iter().all(|&a| a == SymbolAction::Honest)
+            && self.m_lie == VectorLie::Truthful
+            && !self.false_detect
+            && !self.corrupt_rsharp
+            && self.trust_lie == VectorLie::Truthful
+            && !self.bsb_equivocate
+            && !self.input_flip
+    }
+}
+
+/// A Byzantine processor executing one fixed [`Strategy`].
+///
+/// # Examples
+///
+/// Sweeping part of the canonical grid (the workspace's
+/// `exhaustive_small_n` test runs the whole of it):
+///
+/// ```
+/// use mvbc_adversary::{ScriptedAdversary, Strategy};
+/// use mvbc_core::{simulate_consensus, ConsensusConfig, NoopHooks, ProtocolHooks};
+/// use mvbc_metrics::MetricsSink;
+///
+/// let cfg = ConsensusConfig::new(4, 1, 16)?;
+/// let v = vec![9u8; 16];
+/// for strategy in Strategy::grid(4, 0).into_iter().step_by(500) {
+///     let mut hooks: Vec<Box<dyn ProtocolHooks>> =
+///         (0..4).map(|_| NoopHooks::boxed()).collect();
+///     hooks[0] = Box::new(ScriptedAdversary::new(strategy));
+///     let run = simulate_consensus(&cfg, vec![v.clone(); 4], hooks, MetricsSink::new());
+///     for honest in 1..4 {
+///         assert_eq!(run.outputs[honest], v); // validity on every branch
+///     }
+/// }
+/// # Ok::<(), mvbc_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScriptedAdversary {
+    strategy: Strategy,
+}
+
+impl ScriptedAdversary {
+    /// Creates the adversary for `strategy`.
+    pub fn new(strategy: Strategy) -> Self {
+        ScriptedAdversary { strategy }
+    }
+
+    /// The strategy being executed.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+}
+
+impl BsbHooks for ScriptedAdversary {
+    fn source_bits(&mut self, _session: &'static str, to: NodeId, bits: &mut [bool]) {
+        if self.strategy.bsb_equivocate && to % 2 == 1 {
+            bits.iter_mut().for_each(|b| *b = !*b);
+        }
+    }
+}
+
+impl ProtocolHooks for ScriptedAdversary {
+    fn input_override(&mut self, _g: usize, value: &mut Vec<u8>) {
+        if self.strategy.input_flip {
+            value.iter_mut().for_each(|b| *b = !*b);
+        }
+    }
+
+    fn matching_symbol(&mut self, _g: usize, to: NodeId, payload: &mut Vec<u8>) -> bool {
+        match self.strategy.symbols[to] {
+            SymbolAction::Honest => true,
+            SymbolAction::Flip => {
+                payload.iter_mut().for_each(|b| *b = !*b);
+                true
+            }
+            SymbolAction::Drop => false,
+        }
+    }
+
+    fn m_vector(&mut self, _g: usize, m: &mut Vec<bool>) {
+        self.strategy.m_lie.apply(m);
+    }
+
+    fn detected_flag(&mut self, _g: usize, flag: &mut bool) {
+        if self.strategy.false_detect {
+            *flag = true;
+        }
+    }
+
+    fn diagnosis_symbol_bits(&mut self, _g: usize, bits: &mut Vec<bool>) {
+        if self.strategy.corrupt_rsharp {
+            bits.iter_mut().for_each(|b| *b = !*b);
+        }
+    }
+
+    fn trust_vector(&mut self, _g: usize, trust: &mut Vec<bool>) {
+        self.strategy.trust_lie.apply(trust);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size_n4() {
+        // 3^3 symbol patterns × 3 × 2 × 2 × 3 × 2 × 2 = 27 × 144.
+        assert_eq!(Strategy::grid(4, 0).len(), 27 * 144);
+        assert_eq!(Strategy::protocol_grid(4, 0).len(), 27 * 36);
+    }
+
+    #[test]
+    fn grid_contains_honest_exactly_once() {
+        let honest: Vec<_> =
+            Strategy::grid(4, 2).into_iter().filter(Strategy::is_honest).collect();
+        assert_eq!(honest.len(), 1);
+        assert_eq!(honest[0], Strategy::honest(4));
+    }
+
+    #[test]
+    fn grid_entries_are_distinct() {
+        let grid = Strategy::grid(4, 1);
+        for (i, a) in grid.iter().enumerate() {
+            for b in &grid[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_honest_is_noop() {
+        let mut adv = ScriptedAdversary::new(Strategy::honest(4));
+        let mut payload = vec![0xAAu8, 0x55];
+        assert!(adv.matching_symbol(0, 1, &mut payload));
+        assert_eq!(payload, vec![0xAA, 0x55]);
+        let mut m = vec![true, false];
+        adv.m_vector(0, &mut m);
+        assert_eq!(m, vec![true, false]);
+        let mut flag = false;
+        adv.detected_flag(0, &mut flag);
+        assert!(!flag);
+    }
+
+    #[test]
+    fn scripted_flip_and_drop() {
+        let mut strat = Strategy::honest(4);
+        strat.symbols[1] = SymbolAction::Flip;
+        strat.symbols[2] = SymbolAction::Drop;
+        let mut adv = ScriptedAdversary::new(strat);
+        let mut payload = vec![0x0Fu8];
+        assert!(adv.matching_symbol(0, 1, &mut payload));
+        assert_eq!(payload, vec![0xF0]);
+        assert!(!adv.matching_symbol(0, 2, &mut payload));
+        assert!(adv.matching_symbol(0, 3, &mut payload));
+    }
+
+    #[test]
+    fn scripted_lies_apply() {
+        let mut strat = Strategy::honest(4);
+        strat.m_lie = VectorLie::AllTrue;
+        strat.trust_lie = VectorLie::AllFalse;
+        strat.false_detect = true;
+        strat.corrupt_rsharp = true;
+        let mut adv = ScriptedAdversary::new(strat);
+        let mut m = vec![false, false];
+        adv.m_vector(0, &mut m);
+        assert_eq!(m, vec![true, true]);
+        let mut trust = vec![true, true];
+        adv.trust_vector(0, &mut trust);
+        assert_eq!(trust, vec![false, false]);
+        let mut flag = false;
+        adv.detected_flag(0, &mut flag);
+        assert!(flag);
+        let mut bits = vec![true, false];
+        adv.diagnosis_symbol_bits(0, &mut bits);
+        assert_eq!(bits, vec![false, true]);
+    }
+
+    #[test]
+    fn bsb_equivocation_targets_odd_ids() {
+        let mut strat = Strategy::honest(4);
+        strat.bsb_equivocate = true;
+        let mut adv = ScriptedAdversary::new(strat);
+        let mut bits = vec![true, false];
+        adv.source_bits("s", 2, &mut bits);
+        assert_eq!(bits, vec![true, false]);
+        adv.source_bits("s", 3, &mut bits);
+        assert_eq!(bits, vec![false, true]);
+    }
+}

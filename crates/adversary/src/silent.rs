@@ -1,0 +1,60 @@
+//! Crash/silence strategies.
+
+use mvbc_bsb::BsbHooks;
+use mvbc_core::ProtocolHooks;
+
+/// Crashes before the first generation: the processor never sends
+/// anything. The honest processors treat its silence as `⊥` everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Silent;
+
+impl BsbHooks for Silent {}
+
+impl ProtocolHooks for Silent {
+    fn crash_before_generation(&mut self, _g: usize) -> bool {
+        true
+    }
+}
+
+/// Participates honestly until generation `g`, then crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashAt {
+    /// First generation in which the processor no longer participates.
+    pub generation: usize,
+}
+
+impl CrashAt {
+    /// Crash immediately before generation `generation`.
+    pub fn new(generation: usize) -> Self {
+        CrashAt { generation }
+    }
+}
+
+impl BsbHooks for CrashAt {}
+
+impl ProtocolHooks for CrashAt {
+    fn crash_before_generation(&mut self, g: usize) -> bool {
+        g >= self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_always_crashes() {
+        let mut s = Silent;
+        assert!(s.crash_before_generation(0));
+        assert!(s.crash_before_generation(100));
+    }
+
+    #[test]
+    fn crash_at_threshold() {
+        let mut c = CrashAt::new(3);
+        assert!(!c.crash_before_generation(0));
+        assert!(!c.crash_before_generation(2));
+        assert!(c.crash_before_generation(3));
+        assert!(c.crash_before_generation(9));
+    }
+}

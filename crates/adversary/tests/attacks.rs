@@ -1,0 +1,294 @@
+//! Adversarial end-to-end tests: every strategy must leave the fault-free
+//! processors' safety intact (agreement + validity), and attacks that
+//! trigger diagnosis must damage only faulty processors' edges.
+
+use mvbc_adversary::{
+    BsbEquivocator, CorruptDiagnosisSymbol, CorruptSymbolTo, CrashAt, EquivocateSymbol,
+    FalseDetect, KingLiar, LieMVector, LieTrust, RandomAdversary, ShiftedInput, Silent,
+    WorstCaseDiagnosis,
+};
+use mvbc_core::{simulate_consensus, ConsensusConfig, ConsensusRun, NoopHooks, ProtocolHooks};
+use mvbc_metrics::MetricsSink;
+
+fn value(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(17).wrapping_add(seed)).collect()
+}
+
+/// Runs consensus with `faulty[i]`'s hooks at those ids, honest elsewhere,
+/// all processors holding the same input.
+fn run_attack(
+    n: usize,
+    t: usize,
+    l: usize,
+    gen_bytes: Option<usize>,
+    faulty: Vec<(usize, Box<dyn ProtocolHooks>)>,
+) -> (ConsensusRun, Vec<u8>, Vec<usize>) {
+    let cfg = match gen_bytes {
+        Some(d) => ConsensusConfig::with_gen_bytes(n, t, l, d).unwrap(),
+        None => ConsensusConfig::new(n, t, l).unwrap(),
+    };
+    let v = value(l, 3);
+    let faulty_ids: Vec<usize> = faulty.iter().map(|(id, _)| *id).collect();
+    assert!(faulty_ids.len() <= t, "more faulty nodes than t");
+    let mut hooks: Vec<Box<dyn ProtocolHooks>> = (0..n).map(|_| NoopHooks::boxed()).collect();
+    for (id, h) in faulty {
+        hooks[id] = h;
+    }
+    let run = simulate_consensus(&cfg, vec![v.clone(); n], hooks, MetricsSink::new());
+    (run, v, faulty_ids)
+}
+
+/// Asserts the core safety properties from the perspective of honest
+/// processors: agreement on the common input, bounded diagnosis count,
+/// and no honest-honest edge removed.
+fn assert_safety(run: &ConsensusRun, expect: &[u8], faulty: &[usize], t: usize) {
+    let n = run.outputs.len();
+    for id in 0..n {
+        if faulty.contains(&id) {
+            continue;
+        }
+        assert_eq!(run.outputs[id], expect, "honest node {id} decided wrong value");
+        let r = &run.reports[id];
+        assert!(
+            r.diagnosis_invocations <= (t * (t + 1)) as u64,
+            "diagnosis bound violated: {} > t(t+1)",
+            r.diagnosis_invocations
+        );
+        for iso in &r.isolated {
+            assert!(faulty.contains(iso), "honest node {iso} was isolated");
+        }
+    }
+    // Honest reports agree with each other on the shared diagnosis state.
+    let honest: Vec<usize> = (0..n).filter(|id| !faulty.contains(id)).collect();
+    for w in honest.windows(2) {
+        assert_eq!(
+            run.reports[w[0]].isolated, run.reports[w[1]].isolated,
+            "isolation sets diverged between honest nodes"
+        );
+        assert_eq!(
+            run.reports[w[0]].diagnosis_invocations,
+            run.reports[w[1]].diagnosis_invocations
+        );
+    }
+}
+
+#[test]
+fn silent_node_tolerated() {
+    let (run, v, faulty) = run_attack(4, 1, 64, None, vec![(2, Box::new(Silent))]);
+    assert_safety(&run, &v, &faulty, 1);
+    // Silence alone never triggers diagnosis: the other n - t form P_match.
+    assert_eq!(run.reports[0].diagnosis_invocations, 0);
+}
+
+#[test]
+fn crash_mid_protocol_tolerated() {
+    let (run, v, faulty) = run_attack(4, 1, 64, Some(8), vec![(1, Box::new(CrashAt::new(4)))]);
+    assert_safety(&run, &v, &faulty, 1);
+}
+
+#[test]
+fn corrupt_symbol_triggers_diagnosis_and_edge_removal() {
+    let (run, v, faulty) = run_attack(
+        4,
+        1,
+        64,
+        Some(16),
+        vec![(0, Box::new(CorruptSymbolTo::for_first_generations(vec![3], 1)))],
+    );
+    assert_safety(&run, &v, &faulty, 1);
+    let r = &run.reports[1];
+    assert!(r.diagnosis_invocations >= 1, "corruption must be diagnosed");
+    assert!(r.edges_removed >= 1);
+}
+
+#[test]
+fn equivocating_symbols_tolerated() {
+    let (run, v, faulty) = run_attack(7, 2, 128, None, vec![(0, Box::new(EquivocateSymbol))]);
+    assert_safety(&run, &v, &faulty, 2);
+}
+
+#[test]
+fn m_vector_liar_true_claims() {
+    let (run, v, faulty) = run_attack(4, 1, 64, None, vec![(1, Box::new(LieMVector { claim: true }))]);
+    assert_safety(&run, &v, &faulty, 1);
+}
+
+#[test]
+fn m_vector_liar_false_claims() {
+    let (run, v, faulty) =
+        run_attack(4, 1, 64, None, vec![(1, Box::new(LieMVector { claim: false }))]);
+    assert_safety(&run, &v, &faulty, 1);
+    // Refusing to match anyone simply leaves the liar outside P_match;
+    // the others agree without it.
+    assert_eq!(run.reports[0].diagnosis_invocations, 0);
+}
+
+#[test]
+fn false_detect_gets_isolated() {
+    // Lemma 4 case 2(a)/line 3(f): a false accuser with consistent R# and
+    // no removed edge is identified and isolated.
+    let (run, v, faulty) = run_attack(4, 1, 64, Some(8), vec![(3, Box::new(FalseDetect))]);
+    assert_safety(&run, &v, &faulty, 1);
+    let r = &run.reports[0];
+    assert!(r.diagnosis_invocations >= 1);
+    assert_eq!(r.isolated, vec![3], "false detector must be isolated");
+}
+
+#[test]
+fn trust_liar_burns_own_edges() {
+    let (run, v, faulty) = run_attack(7, 2, 128, Some(16), vec![(6, Box::new(LieTrust::new(vec![])))]);
+    assert_safety(&run, &v, &faulty, 2);
+    let r = &run.reports[0];
+    // Every removed edge must touch the liar (node 6) — checked
+    // indirectly by assert_safety (no honest node isolated) plus at least
+    // one diagnosis having run.
+    assert!(r.diagnosis_invocations >= 1);
+}
+
+#[test]
+fn corrupt_diagnosis_symbol_tolerated() {
+    let (run, v, faulty) =
+        run_attack(4, 1, 64, Some(8), vec![(3, Box::new(CorruptDiagnosisSymbol))]);
+    assert_safety(&run, &v, &faulty, 1);
+    assert!(run.reports[0].diagnosis_invocations >= 1);
+}
+
+#[test]
+fn bsb_equivocator_cannot_break_broadcast_consistency() {
+    let (run, v, faulty) = run_attack(4, 1, 64, None, vec![(2, Box::new(BsbEquivocator))]);
+    assert_safety(&run, &v, &faulty, 1);
+}
+
+#[test]
+fn king_liar_tolerated() {
+    // Node 0 is king of phase 0 in every BSB instance; its lies split
+    // non-confident processors only until an honest king re-unifies.
+    let (run, v, faulty) = run_attack(4, 1, 64, None, vec![(0, Box::new(KingLiar))]);
+    assert_safety(&run, &v, &faulty, 1);
+}
+
+#[test]
+fn shifted_input_reduces_to_differing_inputs() {
+    let (run, _v, faulty) = run_attack(4, 1, 64, None, vec![(2, Box::new(ShiftedInput))]);
+    // Honest processors still hold the common value, so validity pins the
+    // decision to it.
+    let v = value(64, 3);
+    assert_safety(&run, &v, &faulty, 1);
+}
+
+#[test]
+fn two_colluding_byzantine_nodes_n7() {
+    let (run, v, faulty) = run_attack(
+        7,
+        2,
+        128,
+        Some(16),
+        vec![
+            (5, Box::new(CorruptSymbolTo::new(vec![0, 1]))),
+            (6, Box::new(FalseDetect)),
+        ],
+    );
+    assert_safety(&run, &v, &faulty, 2);
+    assert!(run.reports[0].diagnosis_invocations >= 1);
+}
+
+#[test]
+fn worst_case_adversary_hits_diagnosis_bound_n4() {
+    // t = 1: bound is t(t+1) = 2 diagnoses.
+    let (run, v, faulty) = run_attack(
+        4,
+        1,
+        200,
+        Some(8), // 25 generations: plenty of rounds to act in
+        vec![(0, Box::new(WorstCaseDiagnosis::new(vec![0])))],
+    );
+    assert_safety(&run, &v, &faulty, 1);
+    let r = &run.reports[1];
+    assert_eq!(
+        r.diagnosis_invocations, 2,
+        "worst case should achieve exactly t(t+1) = 2 diagnoses"
+    );
+    assert_eq!(r.isolated, vec![0], "faulty node must end up isolated");
+}
+
+#[test]
+fn worst_case_adversary_n7_t2() {
+    // t = 2: bound is 6 diagnoses; the team should get close to it.
+    let (run, v, faulty) = run_attack(
+        7,
+        2,
+        512,
+        Some(16),
+        vec![
+            (0, Box::new(WorstCaseDiagnosis::new(vec![0, 1]))),
+            (1, Box::new(WorstCaseDiagnosis::new(vec![0, 1]))),
+        ],
+    );
+    assert_safety(&run, &v, &faulty, 2);
+    let r = &run.reports[2];
+    assert!(
+        r.diagnosis_invocations >= 4,
+        "worst case should get near t(t+1) = 6, got {}",
+        r.diagnosis_invocations
+    );
+    assert!(r.diagnosis_invocations <= 6);
+    assert_eq!(r.isolated, vec![0, 1]);
+}
+
+#[test]
+fn random_adversaries_never_break_safety() {
+    for seed in 0..5u64 {
+        let (run, v, faulty) = run_attack(
+            4,
+            1,
+            48,
+            Some(16),
+            vec![(3, Box::new(RandomAdversary::new(seed, 0.3)))],
+        );
+        assert_safety(&run, &v, &faulty, 1);
+    }
+}
+
+#[test]
+fn random_colluders_n7() {
+    for seed in 0..3u64 {
+        let (run, v, faulty) = run_attack(
+            7,
+            2,
+            64,
+            Some(16),
+            vec![
+                (2, Box::new(RandomAdversary::new(seed, 0.2))),
+                (5, Box::new(RandomAdversary::new(seed.wrapping_add(99), 0.2))),
+            ],
+        );
+        assert_safety(&run, &v, &faulty, 2);
+    }
+}
+
+#[test]
+fn adversary_cannot_forge_validity_with_differing_honest_inputs() {
+    // Honest inputs differ; the adversary tries to push a value. The
+    // decision must still be *common* among honest processors and must be
+    // either one of the honest inputs or the default.
+    let n = 4;
+    let cfg = ConsensusConfig::new(n, 1, 32).unwrap();
+    let mut inputs: Vec<Vec<u8>> = vec![value(32, 1), value(32, 1), value(32, 2), value(32, 9)];
+    let hooks: Vec<Box<dyn ProtocolHooks>> = vec![
+        NoopHooks::boxed(),
+        NoopHooks::boxed(),
+        NoopHooks::boxed(),
+        Box::new(RandomAdversary::new(7, 0.4)),
+    ];
+    let run = simulate_consensus(&cfg, inputs.clone(), hooks, MetricsSink::new());
+    let honest = [0usize, 1, 2];
+    for w in honest.windows(2) {
+        assert_eq!(run.outputs[w[0]], run.outputs[w[1]]);
+    }
+    let decided = &run.outputs[0];
+    inputs.truncate(3);
+    assert!(
+        inputs.contains(decided) || *decided == cfg.default_value(),
+        "decision must be an honest input or the default"
+    );
+}

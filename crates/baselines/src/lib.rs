@@ -1,0 +1,26 @@
+//! Baseline multi-valued Byzantine consensus algorithms.
+//!
+//! The Liang-Vaidya paper positions its algorithm against two baselines
+//! (§1), both of which this crate implements for the comparison
+//! experiments (E3/E8):
+//!
+//! 1. **Bitwise consensus** ([`bitwise`]): run one error-free 1-bit
+//!    consensus per bit of the `L`-bit value. With any `Ω(n²)`-bit binary
+//!    consensus this costs `Ω(n² L)` — the complexity floor the paper's
+//!    `O(nL)` result beats by a factor of `n`. (Our Phase-King binary
+//!    consensus costs `Θ(n²(t+1))` per bit, so the measured baseline is
+//!    even steeper; the harness plots both measured and `Θ(n² L)` model
+//!    curves.)
+//! 2. **Fitzi-Hirt-style probabilistic consensus** ([`fitzi_hirt`],
+//!    PODC 2006): agree on a `κ`-bit universal hash of the value, then let
+//!    the processors whose value matches the agreed hash deliver it with
+//!    an error-*correcting* Reed-Solomon dispersal. Complexity
+//!    `O(nL + n³(n + κ))`... but correctness is only probabilistic: a
+//!    hash collision breaks it, which [`fitzi_hirt::find_collision`]
+//!    demonstrates constructively (experiment E8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitwise;
+pub mod fitzi_hirt;

@@ -1,0 +1,53 @@
+//! Criterion wall-clock benches of the multi-valued broadcast (§4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvbc_bench::workload_value;
+use mvbc_broadcast::{simulate_broadcast, BroadcastConfig, NoopBroadcastHooks};
+use mvbc_metrics::MetricsSink;
+use std::hint::black_box;
+
+fn broadcast_failure_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_failure_free");
+    group.sample_size(10);
+    for (n, t, l) in [(4usize, 1usize, 1024usize), (4, 1, 4096), (7, 2, 1024)] {
+        group.throughput(Throughput::Bytes(l as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}_l{l}")),
+            &(n, t, l),
+            |b, &(n, t, l)| {
+                let cfg = BroadcastConfig::new(n, t, 0, l).unwrap();
+                let v = workload_value(l, 9);
+                b.iter(|| {
+                    let hooks = (0..n).map(|_| NoopBroadcastHooks::boxed()).collect();
+                    let run = simulate_broadcast(&cfg, v.clone(), hooks, MetricsSink::new());
+                    black_box(run.outputs)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn broadcast_with_equivocating_source(c: &mut Criterion) {
+    use mvbc_broadcast::attacks::EquivocatingSource;
+    use mvbc_broadcast::BroadcastHooks;
+    let mut group = c.benchmark_group("broadcast_equivocating_source");
+    group.sample_size(10);
+    let (n, t, l) = (4usize, 1usize, 1024usize);
+    group.throughput(Throughput::Bytes(l as u64));
+    group.bench_function("n4_t1_l1024", |b| {
+        let cfg = BroadcastConfig::with_gen_bytes(n, t, 0, l, 128).unwrap();
+        let v = workload_value(l, 10);
+        b.iter(|| {
+            let mut hooks: Vec<Box<dyn BroadcastHooks>> =
+                (0..n).map(|_| NoopBroadcastHooks::boxed()).collect();
+            hooks[0] = Box::new(EquivocatingSource);
+            let run = simulate_broadcast(&cfg, v.clone(), hooks, MetricsSink::new());
+            black_box(run.outputs)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, broadcast_failure_free, broadcast_with_equivocating_source);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion wall-clock benches of the full consensus protocol
+//! (complements the bit-count experiments, which are the paper's metric).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvbc_bench::workload_value;
+use mvbc_core::{simulate_consensus, ConsensusConfig, NoopHooks};
+use mvbc_metrics::MetricsSink;
+use std::hint::black_box;
+
+fn consensus_failure_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_failure_free");
+    group.sample_size(10);
+    for (n, t, l) in [(4usize, 1usize, 1024usize), (4, 1, 4096), (7, 2, 1024)] {
+        group.throughput(Throughput::Bytes(l as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}_l{l}")),
+            &(n, t, l),
+            |b, &(n, t, l)| {
+                let cfg = ConsensusConfig::new(n, t, l).unwrap();
+                let v = workload_value(l, 7);
+                b.iter(|| {
+                    let hooks = (0..n).map(|_| NoopHooks::boxed()).collect();
+                    let run = simulate_consensus(
+                        &cfg,
+                        vec![v.clone(); n],
+                        hooks,
+                        MetricsSink::new(),
+                    );
+                    black_box(run.outputs)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn consensus_under_attack(c: &mut Criterion) {
+    use mvbc_adversary::WorstCaseDiagnosis;
+    use mvbc_core::ProtocolHooks;
+    let mut group = c.benchmark_group("consensus_worst_case_adversary");
+    group.sample_size(10);
+    let (n, t, l) = (4usize, 1usize, 1024usize);
+    group.throughput(Throughput::Bytes(l as u64));
+    group.bench_function("n4_t1_l1024", |b| {
+        let cfg = ConsensusConfig::with_gen_bytes(n, t, l, 64).unwrap();
+        let v = workload_value(l, 8);
+        b.iter(|| {
+            let mut hooks: Vec<Box<dyn ProtocolHooks>> =
+                (0..n).map(|_| NoopHooks::boxed()).collect();
+            hooks[0] = Box::new(WorstCaseDiagnosis::new(vec![0]));
+            let run = simulate_consensus(&cfg, vec![v.clone(); n], hooks, MetricsSink::new());
+            black_box(run.outputs)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, consensus_failure_free, consensus_under_attack);
+criterion_main!(benches);

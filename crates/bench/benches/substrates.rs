@@ -1,0 +1,78 @@
+//! Criterion benches of the `Broadcast_Single_Bit` substrates (paper
+//! §4's substitution seam): wall-clock cost of one batched broadcast and
+//! of one full consensus under Phase-King, EIG and Dolev-Strong.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvbc_bsb::{BsbConfig, BsbDriver, BsbInstance, DolevStrongDriver, EigDriver, NoopBsbHooks, PhaseKingDriver};
+use mvbc_core::{simulate_consensus_with, ConsensusConfig, NoopHooks};
+use mvbc_metrics::MetricsSink;
+use mvbc_netsim::{run_simulation, NodeCtx, NodeLogic, SimConfig};
+use std::hint::black_box;
+
+const SUBSTRATES: &[&str] = &["phase-king", "eig", "dolev-strong"];
+
+fn fleet(name: &str, n: usize) -> Vec<Box<dyn BsbDriver>> {
+    match name {
+        "phase-king" => (0..n).map(|_| Box::new(PhaseKingDriver) as Box<dyn BsbDriver>).collect(),
+        "eig" => (0..n).map(|_| Box::new(EigDriver) as Box<dyn BsbDriver>).collect(),
+        "dolev-strong" => DolevStrongDriver::fleet(n)
+            .into_iter()
+            .map(|d| Box::new(d) as Box<dyn BsbDriver>)
+            .collect(),
+        other => panic!("unknown substrate {other}"),
+    }
+}
+
+fn run_primitive(name: &str, n: usize, t: usize, instances: usize) -> Vec<Vec<bool>> {
+    let logics: Vec<NodeLogic<Vec<bool>>> = fleet(name, n)
+        .into_iter()
+        .enumerate()
+        .map(|(id, mut driver)| {
+            Box::new(move |ctx: &mut NodeCtx| {
+                let cfg = BsbConfig::new(t, "bench", vec![true; ctx.n()]);
+                let insts: Vec<BsbInstance> = (0..instances)
+                    .map(|i| BsbInstance {
+                        source: i % ctx.n(),
+                        input: (id == i % ctx.n()).then_some(i % 3 == 0),
+                    })
+                    .collect();
+                driver.run_batch(ctx, &cfg, &insts, &mut NoopBsbHooks)
+            }) as NodeLogic<Vec<bool>>
+        })
+        .collect();
+    run_simulation(SimConfig::new(n), MetricsSink::new(), logics).outputs
+}
+
+fn run_consensus(name: &str, n: usize, t: usize, value_bytes: usize) -> Vec<Vec<u8>> {
+    let cfg = ConsensusConfig::new(n, t, value_bytes).expect("valid parameters");
+    let v = vec![0xA5u8; value_bytes];
+    let hooks = (0..n).map(|_| NoopHooks::boxed()).collect();
+    simulate_consensus_with(&cfg, vec![v; n], hooks, fleet(name, n), MetricsSink::new()).outputs
+}
+
+fn substrate_primitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_primitive_batch64");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(64));
+    for name in SUBSTRATES {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
+            b.iter(|| black_box(run_primitive(name, 4, 1, 64)))
+        });
+    }
+    group.finish();
+}
+
+fn substrate_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_consensus_4k");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(4096));
+    for name in SUBSTRATES {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
+            b.iter(|| black_box(run_consensus(name, 4, 1, 4096)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, substrate_primitive, substrate_consensus);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E14 — bounded instances of misbehaviour (§2): attack *persistence*
+//! buys the adversary nothing beyond the `t(t+1)` diagnosis budget.
+//!
+//! §2's third design bullet: "the `t` (or fewer) faulty processors can
+//! collectively misbehave in at most `t(t+1)` generations, before all
+//! the faulty processors are exactly identified". This experiment sweeps
+//! how many generations the adversary *tries* to attack (1, 2, 4, ...,
+//! all) and measures diagnoses actually achieved and total bits: both
+//! must plateau after the budget is spent, so the marginal cost of a
+//! *persistent* adversary over a brief one is zero — the amortisation
+//! argument behind the paper's low failure-free complexity.
+//!
+//! ```sh
+//! cargo run --release -p mvbc-bench --bin exp_attack_rate
+//! ```
+
+use mvbc_adversary::{Deadline, WorstCaseDiagnosis};
+use mvbc_bench::{fmt_bits, measure_consensus, Table};
+use mvbc_core::{ConsensusConfig, NoopHooks, ProtocolHooks};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, t) = (4usize, 1usize);
+    let gens = if quick { 16usize } else { 64 };
+    let gen_bytes = 16usize;
+    let cfg = ConsensusConfig::with_gen_bytes(n, t, gens * gen_bytes, gen_bytes)
+        .expect("valid parameters");
+
+    let mut table = Table::new(&[
+        "attacked generations", "diagnoses", "budget t(t+1)", "total bits", "vs failure-free",
+    ]);
+
+    // Failure-free baseline.
+    let hooks: Vec<Box<dyn ProtocolHooks>> = (0..n).map(|_| NoopHooks::boxed()).collect();
+    let base = measure_consensus(&cfg, hooks, &[], 5);
+    table.row(vec![
+        "0".into(),
+        base.diagnosis_invocations.to_string(),
+        (t * (t + 1)).to_string(),
+        fmt_bits(base.total_bits as f64),
+        "1.00x".into(),
+    ]);
+
+    let mut attacked = 1usize;
+    while attacked <= gens {
+        let mut hooks: Vec<Box<dyn ProtocolHooks>> =
+            (0..n).map(|_| NoopHooks::boxed()).collect();
+        // The full orchestrated worst-case adversary, deadline-bounded
+        // to the first `attacked` generations: it spends as much of the
+        // t(t+1) budget as its window allows.
+        hooks[0] = Box::new(Deadline::new(attacked, WorstCaseDiagnosis::new(vec![0])));
+        let m = measure_consensus(&cfg, hooks, &[0], 5);
+        assert!(
+            m.diagnosis_invocations <= (t * (t + 1)) as u64,
+            "Theorem 1 bound violated"
+        );
+        table.row(vec![
+            attacked.to_string(),
+            m.diagnosis_invocations.to_string(),
+            (t * (t + 1)).to_string(),
+            fmt_bits(m.total_bits as f64),
+            format!("{:.2}x", m.total_bits as f64 / base.total_bits as f64),
+        ]);
+        attacked *= 2;
+    }
+
+    println!("# E14: attack persistence vs the t(t+1) budget\n");
+    println!("{}", table.to_markdown());
+    println!("Diagnoses and total bits plateau once the budget is exhausted: attacking");
+    println!("for all {gens} generations costs the adversary-free network no more than");
+    println!("attacking for t(t+1) = {} — §2's 'bounded instances of misbehaviour',", t * (t + 1));
+    println!("measured. (Costs can even fall below the early-attack rows: diagnosed");
+    println!("edges silence the adversary's channels for the rest of the run.)");
+    table.write_csv("e14_attack_rate").expect("write results/e14_attack_rate.csv");
+}

@@ -1,0 +1,72 @@
+//! E7 — the `Broadcast_Single_Bit` cost `B(n)`: measured bits per 1-bit
+//! broadcast vs the paper's assumed `Θ(n²)` and this workspace's
+//! Phase-King model `Θ(n²(t+1))` (the documented substitution of
+//! DESIGN.md §2).
+//!
+//! ```sh
+//! cargo run --release -p mvbc-bench --bin exp_bsb
+//! ```
+
+use mvbc_bench::Table;
+use mvbc_bsb::{run_bsb_batch, BsbConfig, BsbInstance, NoopBsbHooks};
+use mvbc_core::dsel;
+use mvbc_metrics::MetricsSink;
+use mvbc_netsim::{run_simulation, NodeCtx, NodeLogic, SimConfig};
+
+fn measure_bsb(n: usize, t: usize, instances: usize) -> f64 {
+    let metrics = MetricsSink::new();
+    let logics: Vec<NodeLogic<Vec<bool>>> = (0..n)
+        .map(|id| {
+            Box::new(move |ctx: &mut NodeCtx| {
+                let cfg = BsbConfig::new(t, "e7", vec![true; ctx.n()]);
+                let insts: Vec<BsbInstance> = (0..instances)
+                    .map(|i| BsbInstance {
+                        source: i % ctx.n(),
+                        input: (id == i % ctx.n()).then_some(i % 2 == 0),
+                    })
+                    .collect();
+                run_bsb_batch(ctx, &cfg, &insts, &mut NoopBsbHooks)
+            }) as NodeLogic<Vec<bool>>
+        })
+        .collect();
+    let out = run_simulation(SimConfig::new(n), metrics.clone(), logics);
+    // Cross-check agreement while we're here.
+    for o in &out.outputs {
+        assert_eq!(*o, out.outputs[0], "BSB instances must agree");
+    }
+    metrics.snapshot().total_logical_bits() as f64 / instances as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let configs: &[(usize, usize)] = if quick {
+        &[(4, 1), (7, 2), (10, 3)]
+    } else {
+        &[(4, 1), (7, 2), (10, 3), (13, 4), (16, 5), (19, 6)]
+    };
+    let instances = 64; // amortise fixed effects
+
+    let mut table = Table::new(&[
+        "n", "t", "B measured (bits/instance)", "PK model", "paper 2n^2", "measured/n^2", "measured/n^3",
+    ]);
+    for &(n, t) in configs {
+        let b = measure_bsb(n, t, instances);
+        table.row(vec![
+            n.to_string(),
+            t.to_string(),
+            format!("{b:.1}"),
+            format!("{:.1}", dsel::model_b_phase_king(n, t)),
+            format!("{:.1}", dsel::model_b_theta_n2(n)),
+            format!("{:.3}", b / (n * n) as f64),
+            format!("{:.4}", b / (n * n * n) as f64),
+        ]);
+    }
+
+    println!("# E7: Broadcast_Single_Bit cost B(n)\n");
+    println!("{}", table.to_markdown());
+    println!("paper assumes B = Θ(n²) (bit-optimal BGP/Coan-Welch); our Phase-King");
+    println!("construction measures Θ(n²(t+1)) ≈ Θ(n³) — the documented substitution.");
+    println!("The measured/n^3 column stabilising confirms the model; B multiplies only");
+    println!("the sub-linear terms of Eq. (1), so the O(nL) headline is unaffected.");
+    table.write_csv("e7_bsb").expect("write results/e7_bsb.csv");
+}

@@ -1,0 +1,67 @@
+//! Runs every experiment (E1-E15) in sequence, writing all CSVs into
+//! `results/`. Pass `--quick` to use the reduced parameter grids.
+//!
+//! ```sh
+//! cargo run --release -p mvbc-bench --bin run_all -- --quick
+//! ```
+
+use std::io::Write as _;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_l_sweep",
+    "exp_n_sweep",
+    "exp_baselines",
+    "exp_worst_case",
+    "exp_d_sweep",
+    "exp_broadcast",
+    "exp_bsb",
+    "exp_errorfree",
+    "exp_ablation",
+    "exp_stages",
+    "exp_substrates",
+    "exp_rounds",
+    "exp_messages",
+    "exp_attack_rate",
+    "exp_kappa",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = exe.parent().expect("bin directory");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut log = std::fs::File::create("results/run_all_output.txt")
+        .expect("create results/run_all_output.txt");
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let banner = format!("\n================ {name} ================\n");
+        println!("{banner}");
+        let _ = writeln!(log, "{banner}");
+        let output = Command::new(bin_dir.join(name))
+            .args(&args)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        print!("{}", String::from_utf8_lossy(&output.stdout));
+        let _ = log.write_all(&output.stdout);
+        if !output.stderr.is_empty() {
+            eprint!("{}", String::from_utf8_lossy(&output.stderr));
+            let _ = log.write_all(&output.stderr);
+        }
+        if !output.status.success() {
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        let done = format!(
+            "\nall {} experiments completed; CSVs + full log in results/",
+            EXPERIMENTS.len()
+        );
+        println!("{done}");
+        let _ = writeln!(log, "{done}");
+    } else {
+        panic!("experiments failed: {failures:?}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Byzantine strategies against the broadcast protocol.
+//!
+//! The consensus-side attack library lives in `mvbc-adversary`; these
+//! strategies target the broadcast-specific hook points (equivocating
+//! source, lying echoes, false detectors).
+
+use mvbc_bsb::BsbHooks;
+use mvbc_netsim::NodeId;
+
+use crate::hooks::BroadcastHooks;
+
+fn flip(payload: &mut [u8]) {
+    for b in payload {
+        *b ^= 0xFF;
+    }
+}
+
+/// A source that equivocates during dispersal: odd-id processors receive
+/// corrupted symbols. Receivers detect the inconsistency, the diagnosis
+/// stage forces the source to commit to one value via
+/// `Broadcast_Single_Bit`, and everyone delivers that commitment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EquivocatingSource;
+
+impl BsbHooks for EquivocatingSource {}
+
+impl BroadcastHooks for EquivocatingSource {
+    fn dispersal_symbol(&mut self, _g: usize, to: NodeId, payload: &mut Vec<u8>) -> bool {
+        if to % 2 == 1 {
+            flip(payload);
+        }
+        true
+    }
+}
+
+/// A source that stays completely silent during dispersal (but still
+/// participates in the diagnosis broadcasts, where `Broadcast_Single_Bit`
+/// extracts a common default from its silence).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SilentSource;
+
+impl BsbHooks for SilentSource {}
+
+impl BroadcastHooks for SilentSource {
+    fn dispersal_symbol(&mut self, _g: usize, _to: NodeId, _payload: &mut Vec<u8>) -> bool {
+        false
+    }
+}
+
+/// A source whose diagnosis-stage data broadcast lies about the value it
+/// dispersed. Honest echoes' claims then contradict the claimed codeword
+/// and the source burns its own edges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LyingDiagnosisSource;
+
+impl BsbHooks for LyingDiagnosisSource {}
+
+impl BroadcastHooks for LyingDiagnosisSource {
+    fn data_bits(&mut self, _g: usize, bits: &mut Vec<bool>) {
+        for b in bits.iter_mut() {
+            *b = !*b;
+        }
+    }
+}
+
+/// An echo-set member that corrupts the symbols it relays to the listed
+/// targets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LyingEcho {
+    targets: Vec<NodeId>,
+}
+
+impl LyingEcho {
+    /// Corrupt relays toward each processor in `targets`.
+    pub fn new(targets: Vec<NodeId>) -> Self {
+        LyingEcho { targets }
+    }
+}
+
+impl BsbHooks for LyingEcho {}
+
+impl BroadcastHooks for LyingEcho {
+    fn echo_symbol(&mut self, _g: usize, to: NodeId, payload: &mut Vec<u8>) -> bool {
+        if self.targets.contains(&to) {
+            flip(payload);
+        }
+        true
+    }
+}
+
+/// An echo-set member that never relays (silent echo). Receivers miss its
+/// symbol; when that pushes them under the `k`-symbol floor they detect,
+/// the diagnosis compares the echo's "present" claim against reality, and
+/// an edge adjacent to the liar goes away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SilentEcho;
+
+impl BsbHooks for SilentEcho {}
+
+impl BroadcastHooks for SilentEcho {
+    fn echo_symbol(&mut self, _g: usize, _to: NodeId, _payload: &mut Vec<u8>) -> bool {
+        false
+    }
+}
+
+/// An echo that claims, in the diagnosis stage, to have received nothing
+/// from the source (flips its presence bit to "missing" and zeroes the
+/// symbol bits) — trying to frame the source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FramingEcho;
+
+impl BsbHooks for FramingEcho {}
+
+impl BroadcastHooks for FramingEcho {
+    fn echo_claim_bits(&mut self, _g: usize, bits: &mut Vec<bool>) {
+        for b in bits.iter_mut() {
+            *b = false;
+        }
+    }
+
+    // Force the diagnosis stage so the frame-up is actually broadcast.
+    fn detected_flag(&mut self, _g: usize, flag: &mut bool) {
+        *flag = true;
+    }
+}
+
+/// Announces `Detected = true` with perfectly consistent symbols; the
+/// no-removal rule isolates it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FalseDetector;
+
+impl BsbHooks for FalseDetector {}
+
+impl BroadcastHooks for FalseDetector {
+    fn detected_flag(&mut self, _g: usize, flag: &mut bool) {
+        *flag = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivocating_source_corrupts_odd_targets() {
+        let mut a = EquivocatingSource;
+        let mut even = vec![0xAA];
+        assert!(a.dispersal_symbol(0, 2, &mut even));
+        assert_eq!(even, vec![0xAA]);
+        let mut odd = vec![0xAA];
+        assert!(a.dispersal_symbol(0, 3, &mut odd));
+        assert_eq!(odd, vec![0x55]);
+    }
+
+    #[test]
+    fn silent_source_suppresses() {
+        let mut a = SilentSource;
+        let mut p = vec![1u8];
+        assert!(!a.dispersal_symbol(0, 1, &mut p));
+    }
+
+    #[test]
+    fn lying_echo_targets_only() {
+        let mut a = LyingEcho::new(vec![2]);
+        let mut p = vec![0x0F];
+        assert!(a.echo_symbol(0, 2, &mut p));
+        assert_eq!(p, vec![0xF0]);
+        let mut q = vec![0x0F];
+        assert!(a.echo_symbol(0, 1, &mut q));
+        assert_eq!(q, vec![0x0F]);
+    }
+
+    #[test]
+    fn false_detector_flags() {
+        let mut a = FalseDetector;
+        let mut f = false;
+        a.detected_flag(0, &mut f);
+        assert!(f);
+    }
+
+    #[test]
+    fn lying_source_flips_data() {
+        let mut a = LyingDiagnosisSource;
+        let mut bits = vec![true, false];
+        a.data_bits(0, &mut bits);
+        assert_eq!(bits, vec![false, true]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Adversary hook points inside the broadcast/consensus primitive.
+//!
+//! A Byzantine processor in this workspace *runs the honest code* but may
+//! mutate every outgoing message through a [`BsbHooks`] implementation.
+//! This keeps Byzantine nodes in lockstep with the round structure (the
+//! adversary is "full-information": it sees its own state and may deviate
+//! arbitrarily in message *content*, including equivocating per recipient)
+//! while making attacks composable and testable.
+
+use mvbc_netsim::NodeId;
+
+/// Mutation points for the `Broadcast_Single_Bit` / Phase-King machinery.
+///
+/// Every method receives the outgoing data for one specific recipient and
+/// may mutate it in place; the default implementations leave messages
+/// untouched (honest behaviour). `values`/`proposals` slices are indexed
+/// by batch instance.
+pub trait BsbHooks: Send {
+    /// Bits this node, as a broadcast source, is about to send to `to`
+    /// (round 0 of `Broadcast_Single_Bit`). Equivocation = different
+    /// mutations per `to`.
+    fn source_bits(&mut self, session: &'static str, to: NodeId, bits: &mut [bool]) {
+        let _ = (session, to, bits);
+    }
+
+    /// Value bits for the first round of Phase-King phase `phase`, about
+    /// to be sent to `to`.
+    fn king_values(&mut self, session: &'static str, phase: usize, to: NodeId, values: &mut [bool]) {
+        let _ = (session, phase, to, values);
+    }
+
+    /// Proposal crumbs (0 = no proposal, 1 = propose `false`,
+    /// 2 = propose `true`) for the second round of phase `phase`, about to
+    /// be sent to `to`.
+    fn king_proposals(&mut self, session: &'static str, phase: usize, to: NodeId, proposals: &mut [u8]) {
+        let _ = (session, phase, to, proposals);
+    }
+
+    /// King bits for the third round of phase `phase` (called only when
+    /// this node is the king), about to be sent to `to`.
+    fn king_bits(&mut self, session: &'static str, phase: usize, to: NodeId, bits: &mut [bool]) {
+        let _ = (session, phase, to, bits);
+    }
+
+    /// EIG relay bits for round `round` (1-based), about to be sent to
+    /// `to`. The slice is the concatenation, in tree-enumeration order,
+    /// of this node's relayed level-`(round-1)` values for every batch
+    /// instance (see [`run_eig_batch`](crate::run_eig_batch)).
+    fn eig_values(&mut self, session: &'static str, round: usize, to: NodeId, values: &mut [bool]) {
+        let _ = (session, round, to, values);
+    }
+
+    /// Dolev-Strong relay control (called once per instance per round
+    /// when this node is about to relay an accepted bit): returning
+    /// `false` suppresses the relay (a Byzantine node withholding its
+    /// signature chain). Content attacks on Dolev-Strong go through the
+    /// signing discipline instead — a faulty node can sign anything *as
+    /// itself* via its oracle handle but cannot forge other signatures.
+    fn ds_relay(&mut self, session: &'static str, round: usize, instance: usize, bit: bool) -> bool {
+        let _ = (session, round, instance, bit);
+        true
+    }
+}
+
+/// The honest (no-op) hook implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopBsbHooks;
+
+impl BsbHooks for NoopBsbHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hooks_leave_data_unchanged() {
+        let mut h = NoopBsbHooks;
+        let mut bits = vec![true, false];
+        h.source_bits("s", 1, &mut bits);
+        h.king_values("s", 0, 1, &mut bits);
+        h.king_bits("s", 0, 1, &mut bits);
+        assert_eq!(bits, vec![true, false]);
+        let mut props = vec![0u8, 2];
+        h.king_proposals("s", 0, 1, &mut props);
+        assert_eq!(props, vec![0, 2]);
+    }
+
+    #[test]
+    fn custom_hooks_can_flip() {
+        struct Flip;
+        impl BsbHooks for Flip {
+            fn source_bits(&mut self, _: &'static str, _: NodeId, bits: &mut [bool]) {
+                for b in bits {
+                    *b = !*b;
+                }
+            }
+        }
+        let mut h = Flip;
+        let mut bits = vec![true, false];
+        h.source_bits("s", 0, &mut bits);
+        assert_eq!(bits, vec![false, true]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Batched Phase-King binary consensus (the "King algorithm").
+//!
+//! Tolerates `t < n/3` Byzantine processors using `t + 1` phases of three
+//! rounds each, with processor `p` acting as king of phase `p`. Since at
+//! most `t` processors are faulty, at least one of the `t + 1` kings is
+//! fault-free, and a fault-free king's phase establishes agreement, which
+//! later phases preserve.
+//!
+//! Per phase and instance, each processor sends:
+//! - round 1: its current value (1 bit) to all,
+//! - round 2: a proposal (2 bits: none / propose-0 / propose-1) to all,
+//! - round 3: the king alone sends its value (1 bit) to all.
+//!
+//! Total: `Θ(n² · (t+1))` bits per instance — the workspace's measured
+//! `B` (see the crate docs for how this relates to the paper's `Θ(n²)`).
+
+use mvbc_metrics::intern_tag;
+use mvbc_netsim::bits::{pack_bits, pack_crumbs, unpack_bits, unpack_crumbs};
+use mvbc_netsim::{Inbox, NodeCtx, NodeId};
+
+use crate::{BsbConfig, BsbHooks};
+
+const NO_PROPOSAL: u8 = 0;
+const PROPOSE_FALSE: u8 = 1;
+const PROPOSE_TRUE: u8 = 2;
+
+/// Runs batched Phase-King binary consensus.
+///
+/// `initial` holds this node's input for every instance in the batch. All
+/// participants must call this in the same round with equal `config` and
+/// equal batch size. Returns the decided bit per instance; decisions are
+/// identical at all fault-free participants, and equal to the common input
+/// when all fault-free participants start unanimous (validity).
+///
+/// Non-participants (isolated processors) still return a vector, computed
+/// without sending or receiving.
+///
+/// # Panics
+///
+/// Panics when `t >= n/3` or the participants mask length differs from
+/// `n`.
+pub fn run_king_batch(
+    ctx: &mut NodeCtx,
+    config: &BsbConfig,
+    initial: Vec<bool>,
+    hooks: &mut dyn BsbHooks,
+) -> Vec<bool> {
+    let n = ctx.n();
+    config.assert_valid(n);
+    let me = ctx.id();
+    let t = config.t;
+    let count = initial.len();
+    let participating = config.participants[me];
+
+    let val_tag = intern_tag(&format!("{}.bsb.value", config.session));
+    let prop_tag = intern_tag(&format!("{}.bsb.propose", config.session));
+    let king_tag = intern_tag(&format!("{}.bsb.king", config.session));
+
+    let mut values = initial;
+
+    for phase in 0..=t {
+        let king: NodeId = phase; // kings 0..=t: at least one is fault-free
+
+        // --- Round 1: universal exchange of current values. ---
+        if participating && count > 0 {
+            for to in 0..n {
+                if to == me || !config.participants[to] {
+                    continue;
+                }
+                let mut bits = values.clone();
+                hooks.king_values(config.session, phase, to, &mut bits);
+                ctx.send(to, val_tag, pack_bits(&bits), count as u64);
+            }
+        }
+        let mut inbox = ctx.end_round();
+        let peer_values = gather_bits(&mut inbox, config, me, val_tag, count);
+
+        // Count supporters of true/false per instance (own value included).
+        let mut count_true = vec![0usize; count];
+        let mut count_false = vec![0usize; count];
+        for (i, &v) in values.iter().enumerate() {
+            if v {
+                count_true[i] += 1;
+            } else {
+                count_false[i] += 1;
+            }
+        }
+        for bits in peer_values.iter().flatten() {
+            for (i, &v) in bits.iter().enumerate() {
+                if v {
+                    count_true[i] += 1;
+                } else {
+                    count_false[i] += 1;
+                }
+            }
+        }
+
+        // --- Round 2: proposals. ---
+        // Propose z when at least n - t processors reported z. At most one
+        // value can clear the threshold (2(n-t) > n).
+        let my_proposals: Vec<u8> = (0..count)
+            .map(|i| {
+                if count_true[i] >= n - t {
+                    PROPOSE_TRUE
+                } else if count_false[i] >= n - t {
+                    PROPOSE_FALSE
+                } else {
+                    NO_PROPOSAL
+                }
+            })
+            .collect();
+        if participating && count > 0 {
+            for to in 0..n {
+                if to == me || !config.participants[to] {
+                    continue;
+                }
+                let mut crumbs = my_proposals.clone();
+                hooks.king_proposals(config.session, phase, to, &mut crumbs);
+                ctx.send(to, prop_tag, pack_crumbs(&crumbs), 2 * count as u64);
+            }
+        }
+        let mut inbox = ctx.end_round();
+        let peer_props = gather_crumbs(&mut inbox, config, me, prop_tag, count);
+
+        let mut props_true = vec![0usize; count];
+        let mut props_false = vec![0usize; count];
+        for (i, &p) in my_proposals.iter().enumerate() {
+            match p {
+                PROPOSE_TRUE => props_true[i] += 1,
+                PROPOSE_FALSE => props_false[i] += 1,
+                _ => {}
+            }
+        }
+        for crumbs in peer_props.iter().flatten() {
+            for (i, &p) in crumbs.iter().enumerate() {
+                match p {
+                    PROPOSE_TRUE => props_true[i] += 1,
+                    PROPOSE_FALSE => props_false[i] += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        // Adopt a proposal supported by at least t + 1 processors (at
+        // least one of them fault-free). At most one value can have t + 1
+        // supporters that include a fault-free processor; break the
+        // impossible-for-honest tie deterministically toward `true`.
+        let mut confident = vec![false; count];
+        for i in 0..count {
+            if props_true[i] > t && props_true[i] >= props_false[i] {
+                values[i] = true;
+                confident[i] = props_true[i] >= n - t;
+            } else if props_false[i] > t {
+                values[i] = false;
+                confident[i] = props_false[i] >= n - t;
+            }
+        }
+
+        // --- Round 3: the king's tie-break. ---
+        if participating && me == king && count > 0 {
+            for to in 0..n {
+                if to == me || !config.participants[to] {
+                    continue;
+                }
+                let mut bits = values.clone();
+                hooks.king_bits(config.session, phase, to, &mut bits);
+                ctx.send(to, king_tag, pack_bits(&bits), count as u64);
+            }
+        }
+        let mut inbox = ctx.end_round();
+        let king_bits: Option<Vec<bool>> = if me == king {
+            Some(values.clone())
+        } else if config.participants[king] {
+            inbox
+                .take(king, king_tag)
+                .and_then(|payload| unpack_bits(&payload, count))
+        } else {
+            None
+        };
+        for i in 0..count {
+            if !confident[i] {
+                // Follow the king; a silent or isolated king defaults to
+                // false (all fault-free processors apply the same default).
+                values[i] = king_bits.as_ref().map(|b| b[i]).unwrap_or(false);
+            }
+        }
+    }
+
+    values
+}
+
+/// Pulls one packed-bits message per participating peer out of the inbox;
+/// malformed or missing payloads become `None` (treated as silence).
+fn gather_bits(
+    inbox: &mut Inbox,
+    config: &BsbConfig,
+    me: NodeId,
+    tag: &'static str,
+    count: usize,
+) -> Vec<Option<Vec<bool>>> {
+    let n = config.participants.len();
+    (0..n)
+        .map(|from| {
+            if from == me || !config.participants[from] || count == 0 {
+                return None;
+            }
+            inbox
+                .take(from, tag)
+                .and_then(|payload| unpack_bits(&payload, count))
+        })
+        .collect()
+}
+
+/// As [`gather_bits`] for 2-bit proposal crumbs; crumb values outside
+/// `{0, 1, 2}` are coerced to "no proposal".
+fn gather_crumbs(
+    inbox: &mut Inbox,
+    config: &BsbConfig,
+    me: NodeId,
+    tag: &'static str,
+    count: usize,
+) -> Vec<Option<Vec<u8>>> {
+    let n = config.participants.len();
+    (0..n)
+        .map(|from| {
+            if from == me || !config.participants[from] || count == 0 {
+                return None;
+            }
+            inbox.take(from, tag).and_then(|payload| {
+                unpack_crumbs(&payload, count).map(|mut crumbs| {
+                    for c in &mut crumbs {
+                        if *c > PROPOSE_TRUE {
+                            *c = NO_PROPOSAL;
+                        }
+                    }
+                    crumbs
+                })
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoopBsbHooks;
+    use mvbc_metrics::MetricsSink;
+    use mvbc_netsim::{run_simulation, SimConfig};
+
+    type Logic<O> = Box<dyn FnOnce(&mut NodeCtx) -> O + Send>;
+
+    fn consensus_run(n: usize, t: usize, inputs: Vec<Vec<bool>>) -> Vec<Vec<bool>> {
+        let logics: Vec<Logic<Vec<bool>>> = inputs
+            .into_iter()
+            .map(|init| {
+                Box::new(move |ctx: &mut NodeCtx| {
+                    let cfg = BsbConfig::new(t, "king", vec![true; ctx.n()]);
+                    run_king_batch(ctx, &cfg, init, &mut NoopBsbHooks)
+                }) as Logic<Vec<bool>>
+            })
+            .collect();
+        run_simulation(SimConfig::new(n), MetricsSink::new(), logics).outputs
+    }
+
+    #[test]
+    fn validity_unanimous_inputs() {
+        for bit in [false, true] {
+            let outs = consensus_run(4, 1, vec![vec![bit]; 4]);
+            assert_eq!(outs, vec![vec![bit]; 4]);
+        }
+    }
+
+    #[test]
+    fn agreement_mixed_inputs() {
+        // 2 vs 2 split: some common decision must emerge.
+        let inputs = vec![vec![true], vec![true], vec![false], vec![false]];
+        let outs = consensus_run(4, 1, inputs);
+        let first = outs[0][0];
+        assert!(outs.iter().all(|o| o[0] == first));
+    }
+
+    #[test]
+    fn agreement_all_splits_n7() {
+        // Every number of initial `true` holders, n = 7, t = 2.
+        for ones in 0..=7usize {
+            let inputs: Vec<Vec<bool>> = (0..7).map(|i| vec![i < ones]).collect();
+            let outs = consensus_run(7, 2, inputs);
+            let first = outs[0][0];
+            assert!(outs.iter().all(|o| o[0] == first), "ones={ones}");
+            if ones == 7 {
+                assert!(first);
+            }
+            if ones == 0 {
+                assert!(!first);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_instances_do_not_interfere() {
+        // Instance 0 unanimous true, instance 1 unanimous false,
+        // instance 2 split.
+        let inputs: Vec<Vec<bool>> = (0..4).map(|i| vec![true, false, i % 2 == 0]).collect();
+        let outs = consensus_run(4, 1, inputs);
+        for o in &outs {
+            assert!(o[0]);
+            assert!(!o[1]);
+            assert_eq!(o[2], outs[0][2]);
+        }
+    }
+
+    #[test]
+    fn round_count_is_three_per_phase() {
+        let n = 4;
+        let metrics = MetricsSink::new();
+        let logics: Vec<Logic<Vec<bool>>> = (0..n)
+            .map(|_| {
+                Box::new(move |ctx: &mut NodeCtx| {
+                    let cfg = BsbConfig::new(1, "rounds", vec![true; 4]);
+                    run_king_batch(ctx, &cfg, vec![true], &mut NoopBsbHooks)
+                }) as Logic<Vec<bool>>
+            })
+            .collect();
+        let out = run_simulation(SimConfig::new(n), metrics, logics);
+        assert_eq!(out.rounds, 6); // (t + 1) phases * 3 rounds
+    }
+
+    #[test]
+    fn empty_batch_still_synchronises_rounds() {
+        let outs = consensus_run(4, 1, vec![Vec::new(); 4]);
+        assert_eq!(outs, vec![Vec::<bool>::new(); 4]);
+    }
+}

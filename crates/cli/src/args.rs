@@ -1,0 +1,338 @@
+//! Minimal dependency-free argument parsing for the `mvbc` binary.
+
+use std::fmt;
+
+/// Usage text printed on parse errors.
+pub const USAGE: &str = "\
+usage:
+  mvbc consensus --n <N> --t <T> --l <BYTES> [--d <BYTES>] [--seed <N>]
+                 [--attack none|silent|corrupt|random|worst-case] [--differing]
+                 [--bsb phase-king|eig|dolev-strong] [--trace <FILE>]
+  mvbc broadcast --n <N> --t <T> --l <BYTES> [--d <BYTES>] [--source <ID>]
+                 [--attack none|equivocate|silent-source|lying-echo]
+  mvbc info      --n <N> --t <T> --l <BYTES>
+  mvbc soak      [--runs <N>] [--seed <N>]
+
+flags:
+  --n        number of processors (t < n/3)
+  --t        Byzantine fault tolerance
+  --l        value length in bytes
+  --d        generation size in bytes (default: the paper's Eq. (2) optimum)
+  --seed     workload seed (default 1)
+  --source   broadcasting processor (broadcast only, default 0)
+  --attack   Byzantine behaviour to inject (default none)
+  --differing  give every processor a different input (consensus only)
+  --bsb      Broadcast_Single_Bit substrate (default phase-king; consensus only)
+  --trace    write the full network trace as CSV to FILE (consensus only)
+  --runs     number of randomized soak iterations (default 50)";
+
+/// `Broadcast_Single_Bit` substrate selection (paper §4's seam).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BsbChoice {
+    /// Source multicast + Phase-King (the default, error-free, t < n/3).
+    PhaseKing,
+    /// Source multicast + EIG (round-optimal, exponential bits).
+    Eig,
+    /// Authenticated Dolev-Strong under an idealised signature oracle.
+    DolevStrong,
+}
+
+/// Consensus-side attack selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsensusAttack {
+    /// All processors honest.
+    None,
+    /// One silent (crashed) processor.
+    Silent,
+    /// One processor corrupting symbols toward the highest-id processor.
+    Corrupt,
+    /// One randomized Byzantine processor.
+    Random,
+    /// The orchestrated worst-case diagnosis adversary (`t` colluders).
+    WorstCase,
+}
+
+/// Broadcast-side attack selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastAttack {
+    /// Honest run.
+    None,
+    /// The source equivocates during dispersal.
+    Equivocate,
+    /// The source never disperses.
+    SilentSource,
+    /// One echo-set member corrupts its relays.
+    LyingEcho,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run one consensus simulation.
+    Consensus {
+        /// Processors / tolerance / value bytes / explicit D.
+        n: usize,
+        /// Byzantine tolerance.
+        t: usize,
+        /// Value bytes.
+        l: usize,
+        /// Explicit generation bytes.
+        d: Option<usize>,
+        /// Workload seed.
+        seed: u64,
+        /// Injected behaviour.
+        attack: ConsensusAttack,
+        /// Give every processor a distinct input.
+        differing: bool,
+        /// `Broadcast_Single_Bit` substrate.
+        bsb: BsbChoice,
+        /// Write the network trace as CSV to this path.
+        trace: Option<String>,
+    },
+    /// Run one broadcast simulation.
+    Broadcast {
+        /// Processors.
+        n: usize,
+        /// Byzantine tolerance.
+        t: usize,
+        /// Value bytes.
+        l: usize,
+        /// Explicit generation bytes.
+        d: Option<usize>,
+        /// Broadcasting processor.
+        source: usize,
+        /// Workload seed.
+        seed: u64,
+        /// Injected behaviour.
+        attack: BroadcastAttack,
+    },
+    /// Randomized soak: many consensus runs with random parameters,
+    /// inputs and adversaries, asserting the paper's properties on each.
+    Soak {
+        /// Number of iterations.
+        runs: usize,
+        /// Base seed.
+        seed: u64,
+    },
+    /// Print the analytic model for a parameter set.
+    Info {
+        /// Processors.
+        n: usize,
+        /// Byzantine tolerance.
+        t: usize,
+        /// Value bytes.
+        l: usize,
+    },
+}
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+struct Flags<'a> {
+    argv: &'a [String],
+}
+
+impl Flags<'_> {
+    fn value_of(&self, flag: &str) -> Option<&str> {
+        self.argv
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn usize_of(&self, flag: &str) -> Result<Option<usize>, ParseError> {
+        self.value_of(flag)
+            .map(|v| v.parse::<usize>().map_err(|_| err(format!("{flag} expects a number, got '{v}'"))))
+            .transpose()
+    }
+
+    fn required_usize(&self, flag: &str) -> Result<usize, ParseError> {
+        self.usize_of(flag)?.ok_or_else(|| err(format!("missing required flag {flag}")))
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.argv.iter().any(|a| a == flag)
+    }
+}
+
+/// Parses the full argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = argv.first() else {
+        return Err(err("missing subcommand"));
+    };
+    let flags = Flags { argv: &argv[1..] };
+    if sub == "soak" {
+        return Ok(Command::Soak {
+            runs: flags.usize_of("--runs")?.unwrap_or(50),
+            seed: flags.usize_of("--seed")?.unwrap_or(7) as u64,
+        });
+    }
+    let n = flags.required_usize("--n")?;
+    let t = flags.required_usize("--t")?;
+    let l = flags.required_usize("--l")?;
+    match sub.as_str() {
+        "consensus" => Ok(Command::Consensus {
+            n,
+            t,
+            l,
+            d: flags.usize_of("--d")?,
+            seed: flags.usize_of("--seed")?.unwrap_or(1) as u64,
+            attack: match flags.value_of("--attack").unwrap_or("none") {
+                "none" => ConsensusAttack::None,
+                "silent" => ConsensusAttack::Silent,
+                "corrupt" => ConsensusAttack::Corrupt,
+                "random" => ConsensusAttack::Random,
+                "worst-case" => ConsensusAttack::WorstCase,
+                other => return Err(err(format!("unknown consensus attack '{other}'"))),
+            },
+            differing: flags.has("--differing"),
+            bsb: match flags.value_of("--bsb").unwrap_or("phase-king") {
+                "phase-king" | "king" => BsbChoice::PhaseKing,
+                "eig" => BsbChoice::Eig,
+                "dolev-strong" | "ds" => BsbChoice::DolevStrong,
+                other => return Err(err(format!("unknown BSB substrate '{other}'"))),
+            },
+            trace: flags.value_of("--trace").map(String::from),
+        }),
+        "broadcast" => Ok(Command::Broadcast {
+            n,
+            t,
+            l,
+            d: flags.usize_of("--d")?,
+            source: flags.usize_of("--source")?.unwrap_or(0),
+            seed: flags.usize_of("--seed")?.unwrap_or(1) as u64,
+            attack: match flags.value_of("--attack").unwrap_or("none") {
+                "none" => BroadcastAttack::None,
+                "equivocate" => BroadcastAttack::Equivocate,
+                "silent-source" => BroadcastAttack::SilentSource,
+                "lying-echo" => BroadcastAttack::LyingEcho,
+                other => return Err(err(format!("unknown broadcast attack '{other}'"))),
+            },
+        }),
+        "info" => Ok(Command::Info { n, t, l }),
+        other => Err(err(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_consensus_defaults() {
+        let cmd = parse(&argv("consensus --n 4 --t 1 --l 64")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Consensus {
+                n: 4,
+                t: 1,
+                l: 64,
+                d: None,
+                seed: 1,
+                attack: ConsensusAttack::None,
+                differing: false,
+                bsb: BsbChoice::PhaseKing,
+                trace: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_all_consensus_flags() {
+        let cmd = parse(&argv(
+            "consensus --n 7 --t 2 --l 1024 --d 32 --seed 9 --attack worst-case --differing",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Consensus { n, t, l, d, seed, attack, differing, bsb, trace } => {
+                assert_eq!((n, t, l, d, seed), (7, 2, 1024, Some(32), 9));
+                assert_eq!(trace, None);
+                assert_eq!(attack, ConsensusAttack::WorstCase);
+                assert!(differing);
+                assert_eq!(bsb, BsbChoice::PhaseKing);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_broadcast() {
+        let cmd = parse(&argv("broadcast --n 7 --t 2 --l 256 --source 3 --attack lying-echo")).unwrap();
+        match cmd {
+            Command::Broadcast { source, attack, .. } => {
+                assert_eq!(source, 3);
+                assert_eq!(attack, BroadcastAttack::LyingEcho);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_soak() {
+        assert_eq!(parse(&argv("soak")).unwrap(), Command::Soak { runs: 50, seed: 7 });
+        assert_eq!(
+            parse(&argv("soak --runs 9 --seed 3")).unwrap(),
+            Command::Soak { runs: 9, seed: 3 }
+        );
+    }
+
+    #[test]
+    fn parses_info() {
+        assert_eq!(
+            parse(&argv("info --n 4 --t 1 --l 8")).unwrap(),
+            Command::Info { n: 4, t: 1, l: 8 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("frobnicate --n 4 --t 1 --l 8")).is_err());
+        assert!(parse(&argv("consensus --n 4 --t 1")).is_err()); // missing --l
+        assert!(parse(&argv("consensus --n x --t 1 --l 8")).is_err());
+        assert!(parse(&argv("consensus --n 4 --t 1 --l 8 --attack bogus")).is_err());
+        assert!(parse(&argv("consensus --n 4 --t 1 --l 8 --bsb bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_path() {
+        let cmd = parse(&argv("consensus --n 4 --t 1 --l 8 --trace /tmp/t.csv")).unwrap();
+        match cmd {
+            Command::Consensus { trace, .. } => assert_eq!(trace.as_deref(), Some("/tmp/t.csv")),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bsb_substrates() {
+        for (flag, want) in [
+            ("phase-king", BsbChoice::PhaseKing),
+            ("king", BsbChoice::PhaseKing),
+            ("eig", BsbChoice::Eig),
+            ("dolev-strong", BsbChoice::DolevStrong),
+            ("ds", BsbChoice::DolevStrong),
+        ] {
+            let cmd = parse(&argv(&format!("consensus --n 4 --t 1 --l 8 --bsb {flag}"))).unwrap();
+            match cmd {
+                Command::Consensus { bsb, .. } => assert_eq!(bsb, want, "{flag}"),
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Command execution: run the simulations and print human-oriented
+//! summaries.
+
+use mvbc_adversary::{CorruptSymbolTo, RandomAdversary, Silent, WorstCaseDiagnosis};
+use mvbc_bsb::{BsbDriver, DolevStrongDriver, EigDriver, PhaseKingDriver};
+use mvbc_broadcast::attacks::{EquivocatingSource, LyingEcho, SilentSource};
+use mvbc_broadcast::{simulate_broadcast, BroadcastConfig, BroadcastHooks, NoopBroadcastHooks};
+use mvbc_core::{dsel, simulate_consensus_traced, ConsensusConfig, NoopHooks, ProtocolHooks};
+use mvbc_netsim::trace::TraceSink;
+use mvbc_metrics::MetricsSink;
+
+use crate::args::{BroadcastAttack, BsbChoice, Command, ConsensusAttack};
+
+fn workload(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) {
+    match cmd {
+        Command::Consensus { n, t, l, d, seed, attack, differing, bsb, trace } => {
+            consensus(n, t, l, d, seed, attack, differing, bsb, trace)
+        }
+        Command::Broadcast { n, t, l, d, source, seed, attack } => {
+            broadcast(n, t, l, d, source, seed, attack)
+        }
+        Command::Info { n, t, l } => info(n, t, l),
+        Command::Soak { runs, seed } => soak(runs, seed),
+    }
+}
+
+/// Small deterministic PRNG for soak parameter draws (xorshift64*).
+struct SoakRng(u64);
+
+impl SoakRng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn soak(runs: usize, seed: u64) {
+    use mvbc_adversary::{
+        CorruptSymbolTo, EquivocateSymbol, FalseDetect, LieMVector, RandomAdversary,
+        ShiftedInput, Silent, Sleeper,
+    };
+
+    let mut rng = SoakRng(seed | 1);
+    let mut diagnosed_runs = 0usize;
+    for run_idx in 0..runs {
+        let (n, t) = [(4usize, 1usize), (7, 2), (10, 3)][rng.below(3)];
+        let l = 8 + rng.below(120);
+        let cfg = ConsensusConfig::new(n, t, l).expect("soak draws valid parameters");
+        let value = workload(l, rng.next());
+        let faulty = rng.below(n);
+        let hooks: Vec<Box<dyn ProtocolHooks>> = (0..n)
+            .map(|i| {
+                if i != faulty {
+                    return NoopHooks::boxed();
+                }
+                let strategy: Box<dyn ProtocolHooks> = match rng.below(8) {
+                    0 => Box::new(Silent),
+                    1 => Box::new(CorruptSymbolTo::new(vec![(faulty + 1) % n])),
+                    2 => Box::new(EquivocateSymbol),
+                    3 => Box::new(FalseDetect),
+                    4 => Box::new(LieMVector { claim: true }),
+                    5 => Box::new(ShiftedInput),
+                    6 => Box::new(Sleeper::new(1 + rng.below(3), EquivocateSymbol)),
+                    _ => Box::new(RandomAdversary::new(rng.next(), 0.35)),
+                };
+                strategy
+            })
+            .collect();
+        let run = simulate_consensus_traced(
+            &cfg,
+            vec![value.clone(); n],
+            hooks,
+            bsb_fleet(BsbChoice::PhaseKing, n),
+            MetricsSink::new(),
+            TraceSink::new(),
+        );
+        let honest: Vec<usize> = (0..n).filter(|&i| i != faulty).collect();
+        for &h in &honest {
+            assert_eq!(
+                run.outputs[h], value,
+                "soak run {run_idx}: node {h} violated validity (n={n}, t={t}, l={l})"
+            );
+            assert!(run.reports[h].diagnosis_invocations <= (t * (t + 1)) as u64);
+            assert!(run.reports[h].isolated.iter().all(|&i| i == faulty));
+        }
+        if run.reports[honest[0]].diagnosis_invocations > 0 {
+            diagnosed_runs += 1;
+        }
+    }
+    println!(
+        "soak: {runs} randomized runs OK ({diagnosed_runs} reached the diagnosis stage); \
+         validity, consistency, the t(t+1) bound and isolation safety held on every run"
+    );
+}
+
+fn bsb_fleet(choice: BsbChoice, n: usize) -> Vec<Box<dyn BsbDriver>> {
+    match choice {
+        BsbChoice::PhaseKing => {
+            (0..n).map(|_| Box::new(PhaseKingDriver) as Box<dyn BsbDriver>).collect()
+        }
+        BsbChoice::Eig => (0..n).map(|_| Box::new(EigDriver) as Box<dyn BsbDriver>).collect(),
+        BsbChoice::DolevStrong => DolevStrongDriver::fleet(n)
+            .into_iter()
+            .map(|d| Box::new(d) as Box<dyn BsbDriver>)
+            .collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn consensus(
+    n: usize,
+    t: usize,
+    l: usize,
+    d: Option<usize>,
+    seed: u64,
+    attack: ConsensusAttack,
+    differing: bool,
+    bsb: BsbChoice,
+    trace_path: Option<String>,
+) {
+    let cfg = match d {
+        Some(d) => ConsensusConfig::with_gen_bytes(n, t, l, d),
+        None => ConsensusConfig::new(n, t, l),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("invalid parameters: {e}");
+        std::process::exit(2);
+    });
+
+    let inputs: Vec<Vec<u8>> = (0..n)
+        .map(|i| workload(l, seed.wrapping_add(if differing { i as u64 } else { 0 })))
+        .collect();
+    let mut hooks: Vec<Box<dyn ProtocolHooks>> = (0..n).map(|_| NoopHooks::boxed()).collect();
+    let mut faulty: Vec<usize> = Vec::new();
+    match attack {
+        ConsensusAttack::None => {}
+        ConsensusAttack::Silent => {
+            hooks[n - 1] = Box::new(Silent);
+            faulty.push(n - 1);
+        }
+        ConsensusAttack::Corrupt => {
+            hooks[0] = Box::new(CorruptSymbolTo::new(vec![n - 1]));
+            faulty.push(0);
+        }
+        ConsensusAttack::Random => {
+            hooks[n - 1] = Box::new(RandomAdversary::new(seed, 0.35));
+            faulty.push(n - 1);
+        }
+        ConsensusAttack::WorstCase => {
+            let team: Vec<usize> = (0..t.max(1)).collect();
+            for &f in &team {
+                hooks[f] = Box::new(WorstCaseDiagnosis::new(team.clone()));
+            }
+            faulty = team;
+        }
+    }
+
+    let metrics = MetricsSink::new();
+    let trace = TraceSink::new();
+    let run = simulate_consensus_traced(
+        &cfg,
+        inputs.clone(),
+        hooks,
+        bsb_fleet(bsb, n),
+        metrics.clone(),
+        trace.clone(),
+    );
+    if let Some(path) = &trace_path {
+        match std::fs::write(path, trace.to_csv()) {
+            Ok(()) => println!("trace: {} deliveries written to {path}", trace.len()),
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+    }
+
+    println!(
+        "consensus: n = {n}, t = {t}, L = {l} bytes, D = {} bytes, {} generation(s), BSB = {bsb:?}",
+        cfg.resolved_gen_bytes(),
+        cfg.generations()
+    );
+    println!("attack: {attack:?}; Byzantine processors: {faulty:?}");
+    let honest: Vec<usize> = (0..n).filter(|i| !faulty.contains(i)).collect();
+    let agreed = honest.windows(2).all(|w| run.outputs[w[0]] == run.outputs[w[1]]);
+    println!("fault-free agreement: {}", if agreed { "YES" } else { "NO (BUG!)" });
+    let decided = &run.outputs[honest[0]];
+    if *decided == inputs[honest[0]] && !differing {
+        println!("decision: the common input (validity holds)");
+    } else if *decided == cfg.default_value() {
+        println!("decision: the default value (inputs provably differed)");
+    } else {
+        println!("decision: {} bytes (first 8: {:02x?})", decided.len(), &decided[..decided.len().min(8)]);
+    }
+    let report = &run.reports[honest[0]];
+    println!(
+        "diagnosis stages: {} (Theorem 1 bound: {}); isolated: {:?}",
+        report.diagnosis_invocations,
+        t * (t + 1),
+        report.isolated
+    );
+    let snap = metrics.snapshot();
+    println!(
+        "communication: {} bits over {} rounds ({:.2} bits per value bit; Eq. (3) coefficient {:.2})",
+        snap.total_logical_bits(),
+        snap.rounds(),
+        snap.total_logical_bits() as f64 / (l * 8) as f64,
+        dsel::linear_coefficient(n, t),
+    );
+    println!("\nper-stage breakdown:\n{}", snap.to_markdown());
+}
+
+fn broadcast(
+    n: usize,
+    t: usize,
+    l: usize,
+    d: Option<usize>,
+    source: usize,
+    seed: u64,
+    attack: BroadcastAttack,
+) {
+    let cfg = match d {
+        Some(d) => BroadcastConfig::with_gen_bytes(n, t, source, l, d),
+        None => BroadcastConfig::new(n, t, source, l),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("invalid parameters: {e}");
+        std::process::exit(2);
+    });
+
+    let value = workload(l, seed);
+    let mut hooks: Vec<Box<dyn BroadcastHooks>> =
+        (0..n).map(|_| NoopBroadcastHooks::boxed()).collect();
+    let mut faulty: Vec<usize> = Vec::new();
+    match attack {
+        BroadcastAttack::None => {}
+        BroadcastAttack::Equivocate => {
+            hooks[source] = Box::new(EquivocatingSource);
+            faulty.push(source);
+        }
+        BroadcastAttack::SilentSource => {
+            hooks[source] = Box::new(SilentSource);
+            faulty.push(source);
+        }
+        BroadcastAttack::LyingEcho => {
+            let echo = (source + 1) % n;
+            hooks[echo] = Box::new(LyingEcho::new(vec![(source + 2) % n]));
+            faulty.push(echo);
+        }
+    }
+
+    let metrics = MetricsSink::new();
+    let run = simulate_broadcast(&cfg, value.clone(), hooks, metrics.clone());
+
+    println!(
+        "broadcast: n = {n}, t = {t}, source = {source}, L = {l} bytes, {} generation(s)",
+        cfg.generations()
+    );
+    println!("attack: {attack:?}; Byzantine processors: {faulty:?}");
+    let honest: Vec<usize> = (0..n).filter(|i| !faulty.contains(i)).collect();
+    let agreed = honest.windows(2).all(|w| run.outputs[w[0]] == run.outputs[w[1]]);
+    println!("fault-free agreement: {}", if agreed { "YES" } else { "NO (BUG!)" });
+    if !faulty.contains(&source) {
+        println!(
+            "validity (delivered == source input): {}",
+            if run.outputs[honest[0]] == value { "YES" } else { "NO (BUG!)" }
+        );
+    }
+    let snap = metrics.snapshot();
+    println!(
+        "communication: {} bits = {:.2} x (n-1)L over {} rounds; diagnosis stages: {}",
+        snap.total_logical_bits(),
+        snap.total_logical_bits() as f64 / ((n - 1) * l * 8) as f64,
+        snap.rounds(),
+        run.reports[honest[0]].diagnosis_invocations,
+    );
+}
+
+fn info(n: usize, t: usize, l: usize) {
+    let Ok(cfg) = ConsensusConfig::new(n, t, l) else {
+        eprintln!("invalid parameters (need t < n/3, n <= 65535, l >= 1)");
+        std::process::exit(2);
+    };
+    let l_bits = (l * 8) as u64;
+    let d_bits = cfg.resolved_gen_bytes() as u64 * 8;
+    let b_pk = dsel::model_b_phase_king(n, t);
+    let b_n2 = dsel::model_b_theta_n2(n);
+    println!("parameters: n = {n}, t = {t}, L = {l_bits} bits");
+    println!("code: (n, k) = ({n}, {}), distance {}", cfg.k(), 2 * t + 1);
+    println!("Eq. (2) optimal D: {d_bits} bits ({} bytes, {} generations)", cfg.resolved_gen_bytes(), cfg.generations());
+    println!("Eq. (3) linear coefficient n(n-1)/(n-2t): {:.2}", dsel::linear_coefficient(n, t));
+    println!("Broadcast_Single_Bit cost B: {:.0} bits (Phase-King) / {:.0} (paper's 2n^2)", b_pk, b_n2);
+    println!(
+        "Eq. (1) failure-free model: {:.0} bits ({:.2} per value bit)",
+        dsel::model_ccon_failure_free_bits(n, t, l_bits, d_bits, b_pk),
+        dsel::model_ccon_failure_free_bits(n, t, l_bits, d_bits, b_pk) / l_bits as f64
+    );
+    println!(
+        "Eq. (1) worst-case model:   {:.0} bits (includes t(t+1) = {} diagnosis stages)",
+        dsel::model_ccon_bits(n, t, l_bits, d_bits, b_pk),
+        t * (t + 1)
+    );
+    println!("\nBroadcast_Single_Bit substrates (--bsb; see §4):");
+    println!("  phase-king    error-free, t < n/3, B = Θ(n²(t+1)), 1+3(t+1) rounds/batch");
+    println!("  eig           error-free, t < n/3, B = Θ(n^(t+2)), 1+(t+1) rounds/batch");
+    println!("  dolev-strong  idealised signatures, t < n at the broadcast layer, t+1 rounds/batch");
+}

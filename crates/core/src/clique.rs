@@ -1,0 +1,209 @@
+//! Deterministic clique search for `P_match` and `P_decide`.
+//!
+//! Lines 1(e) and 3(h) of Algorithm 1 require every fault-free processor
+//! to locate the *same* set: a clique of prescribed size in a graph that
+//! all fault-free processors hold identical copies of (thanks to
+//! `Broadcast_Single_Bit`). Determinism, not speed, is the requirement —
+//! the paper measures communication, not local computation. The search is
+//! a straightforward backtracking over vertices in increasing order with
+//! counting and common-neighbourhood pruning, returning the first clique
+//! found in that canonical order (hence the same clique everywhere).
+
+/// Finds a clique of exactly `size` vertices among `candidates` under the
+/// symmetric adjacency predicate `adj`, or `None` when no such clique
+/// exists.
+///
+/// `candidates` must be sorted ascending and duplicate-free; `adj` is only
+/// consulted on candidate pairs and must be symmetric. The returned
+/// vertices are sorted ascending, and the choice is deterministic: two
+/// callers with equal inputs get equal outputs.
+///
+/// # Examples
+///
+/// ```
+/// use mvbc_core::find_clique_of_size;
+///
+/// // A 4-cycle has cliques of size 2 but not 3.
+/// let edges = [(0, 1), (1, 2), (2, 3), (3, 0)];
+/// let adj = |a: usize, b: usize| {
+///     edges.contains(&(a, b)) || edges.contains(&(b, a))
+/// };
+/// assert_eq!(find_clique_of_size(&[0, 1, 2, 3], 2, adj), Some(vec![0, 1]));
+/// assert_eq!(find_clique_of_size(&[0, 1, 2, 3], 3, adj), None);
+/// ```
+pub fn find_clique_of_size(
+    candidates: &[usize],
+    size: usize,
+    adj: impl Fn(usize, usize) -> bool,
+) -> Option<Vec<usize>> {
+    if size == 0 {
+        return Some(Vec::new());
+    }
+    if candidates.len() < size {
+        return None;
+    }
+    debug_assert!(
+        candidates.windows(2).all(|w| w[0] < w[1]),
+        "candidates must be sorted and unique"
+    );
+
+    // Iteratively discard candidates with too few neighbours among the
+    // remaining candidates; cheap and often collapses the search space.
+    let mut cands: Vec<usize> = candidates.to_vec();
+    loop {
+        let before = cands.len();
+        cands = {
+            let keep: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    let deg = cands.iter().filter(|&&u| u != v && adj(u, v)).count();
+                    deg >= size - 1
+                })
+                .collect();
+            keep
+        };
+        if cands.len() == before {
+            break;
+        }
+        if cands.len() < size {
+            return None;
+        }
+    }
+
+    let mut chosen: Vec<usize> = Vec::with_capacity(size);
+    if search(&cands, size, &adj, &mut chosen) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+fn search(
+    cands: &[usize],
+    size: usize,
+    adj: &impl Fn(usize, usize) -> bool,
+    chosen: &mut Vec<usize>,
+) -> bool {
+    if chosen.len() == size {
+        return true;
+    }
+    let need = size - chosen.len();
+    for (i, &v) in cands.iter().enumerate() {
+        if cands.len() - i < need {
+            return false; // not enough candidates left
+        }
+        chosen.push(v);
+        // Restrict to later candidates adjacent to v (keeps order, keeps
+        // the clique sorted, and explores lexicographically smallest
+        // extensions first).
+        let next: Vec<usize> = cands[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&u| adj(u, v))
+            .collect();
+        if next.len() >= need - 1 && search(&next, size, adj, chosen) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj_from_edges(edges: &[(usize, usize)]) -> impl Fn(usize, usize) -> bool + '_ {
+        move |a, b| edges.iter().any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b))
+    }
+
+    #[test]
+    fn complete_graph_returns_prefix() {
+        let cands: Vec<usize> = (0..8).collect();
+        let clique = find_clique_of_size(&cands, 5, |_, _| true).unwrap();
+        assert_eq!(clique, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_size_trivially_found() {
+        assert_eq!(find_clique_of_size(&[], 0, |_, _| true), Some(vec![]));
+    }
+
+    #[test]
+    fn too_few_candidates() {
+        assert_eq!(find_clique_of_size(&[1, 2], 3, |_, _| true), None);
+    }
+
+    #[test]
+    fn no_edges_no_clique_beyond_one() {
+        let cands: Vec<usize> = (0..5).collect();
+        assert_eq!(find_clique_of_size(&cands, 2, |_, _| false), None);
+        assert_eq!(find_clique_of_size(&cands, 1, |_, _| false), Some(vec![0]));
+    }
+
+    #[test]
+    fn finds_embedded_clique() {
+        // Clique {1, 3, 4} plus stray edges.
+        let edges = [(1, 3), (3, 4), (1, 4), (0, 1), (0, 2), (2, 3)];
+        let adj = adj_from_edges(&edges);
+        let got = find_clique_of_size(&[0, 1, 2, 3, 4], 3, adj).unwrap();
+        assert_eq!(got, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn prefers_lexicographically_smallest() {
+        // Two disjoint triangles {0,1,2} and {3,4,5}.
+        let edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
+        let got = find_clique_of_size(&[0, 1, 2, 3, 4, 5], 3, adj_from_edges(&edges)).unwrap();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn respects_candidate_restriction() {
+        // Triangle {0,1,2} exists but 0 is not a candidate.
+        let edges = [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)];
+        let got = find_clique_of_size(&[1, 2, 3], 3, adj_from_edges(&edges)).unwrap();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let edges = [(0, 2), (2, 4), (0, 4), (1, 3), (3, 5), (1, 5), (0, 1)];
+        let cands: Vec<usize> = (0..6).collect();
+        let a = find_clique_of_size(&cands, 3, adj_from_edges(&edges));
+        let b = find_clique_of_size(&cands, 3, adj_from_edges(&edges));
+        assert_eq!(a, b);
+        assert_eq!(a, Some(vec![0, 2, 4]));
+    }
+
+    #[test]
+    fn worst_case_moderate_n_terminates() {
+        // Turán-style graph with no clique of the target size: complete
+        // 4-partite graph K(4,4,4,4) has max clique 4; ask for 5.
+        let part = |v: usize| v / 4;
+        let cands: Vec<usize> = (0..16).collect();
+        assert_eq!(
+            find_clique_of_size(&cands, 5, |a, b| part(a) != part(b)),
+            None
+        );
+        assert!(find_clique_of_size(&cands, 4, |a, b| part(a) != part(b)).is_some());
+    }
+
+    #[test]
+    fn consensus_shape_n_minus_t() {
+        // The matching-stage shape: n = 13, t = 4; the 9 "honest" nodes
+        // form a clique, faulty nodes attach arbitrarily.
+        let n = 13;
+        let honest = |v: usize| v < 9;
+        let adj = |a: usize, b: usize| {
+            (honest(a) && honest(b)) || (a + b).is_multiple_of(3) // some noise edges
+        };
+        let cands: Vec<usize> = (0..n).collect();
+        let clique = find_clique_of_size(&cands, 9, adj).unwrap();
+        assert_eq!(clique.len(), 9);
+        for w in clique.windows(2) {
+            assert!(adj(w[0], w[1]));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The multi-generation consensus engine (Theorem 1).
+//!
+//! Splits the `L`-bit input into `L/D` generations, runs Algorithm 1 per
+//! generation with a diagnosis graph carried across generations ("memory
+//! across generations", §2), and assembles the `L`-bit decision.
+
+use mvbc_bsb::{BsbDriver, PhaseKingDriver};
+use mvbc_netsim::NodeCtx;
+use mvbc_rscode::StripedCode;
+
+use crate::config::ConsensusConfig;
+use crate::diag::DiagGraph;
+use crate::generation::{run_generation, GenerationOutcome};
+use crate::hooks::ProtocolHooks;
+
+/// Per-node summary of one consensus execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// The decided `L`-byte value.
+    pub output: Vec<u8>,
+    /// Number of generations in which the diagnosis stage executed.
+    /// Theorem 1 bounds this by `t(t + 1)` in every execution.
+    pub diagnosis_invocations: u64,
+    /// Generations fully executed (equals `cfg.generations()` unless the
+    /// default decision of line 1(f) terminated the run early).
+    pub generations_completed: usize,
+    /// Whether line 1(f) fired (fault-free inputs provably differed).
+    pub defaulted: bool,
+    /// Processors identified as faulty and isolated, ascending.
+    pub isolated: Vec<usize>,
+    /// Undirected diagnosis-graph edges removed over the whole run.
+    pub edges_removed: usize,
+}
+
+/// Runs the full multi-valued consensus protocol for one processor.
+///
+/// Every fault-free processor must invoke this in round 0 of the
+/// simulation with an identical `cfg`; `input` is this processor's
+/// `L`-byte input value, `hooks` its (possibly Byzantine) behaviour.
+///
+/// # Panics
+///
+/// Panics when `input.len() != cfg.value_bytes` or the internal
+/// invariants guaranteed by the paper's lemmas are violated (which would
+/// indicate an implementation bug, not an adversary effect).
+pub fn run_consensus(
+    ctx: &mut NodeCtx,
+    cfg: &ConsensusConfig,
+    input: &[u8],
+    hooks: &mut dyn ProtocolHooks,
+) -> EngineReport {
+    run_consensus_with(ctx, cfg, input, hooks, &mut PhaseKingDriver)
+}
+
+/// As [`run_consensus`] with an explicit `Broadcast_Single_Bit`
+/// substrate (§4's substitution seam; see [`BsbDriver`]).
+///
+/// All fault-free processors of one execution must supply the same kind
+/// of driver — the substrates differ in round structure. The consensus
+/// algorithm's own lemmas still require `t < n/3` (enforced by `cfg`)
+/// even when the driver tolerates more faults.
+///
+/// # Panics
+///
+/// As [`run_consensus`].
+pub fn run_consensus_with(
+    ctx: &mut NodeCtx,
+    cfg: &ConsensusConfig,
+    input: &[u8],
+    hooks: &mut dyn ProtocolHooks,
+    bsb: &mut dyn BsbDriver,
+) -> EngineReport {
+    assert_eq!(
+        input.len(),
+        cfg.value_bytes,
+        "input must be exactly L = value_bytes bytes"
+    );
+    let d = cfg.resolved_gen_bytes();
+    let generations = cfg.generations();
+    let code = StripedCode::c2t(cfg.n, cfg.t, d).expect("validated parameters");
+    let mut diag = DiagGraph::new(cfg.n, cfg.t);
+
+    let mut output: Vec<u8> = Vec::with_capacity(cfg.value_bytes);
+    let mut diagnosis_invocations = 0u64;
+    let mut generations_completed = 0usize;
+    let mut defaulted = false;
+
+    for g in 0..generations {
+        if hooks.crash_before_generation(g) {
+            // Byzantine crash: stop participating. The returned output is
+            // meaningless (the processor is faulty by definition).
+            output.resize(cfg.value_bytes, cfg.default_byte);
+            break;
+        }
+        if diag.is_isolated(ctx.id()) {
+            // This processor has been identified as faulty; fault-free
+            // processors no longer communicate with it, so it cannot
+            // follow the protocol. Only a faulty processor can get here.
+            output.resize(cfg.value_bytes, cfg.default_byte);
+            break;
+        }
+
+        if cfg.ablation_reset_diag {
+            // E9 ablation: forget everything learned about fault
+            // locations (disables the paper's memory across generations).
+            diag = DiagGraph::new(cfg.n, cfg.t);
+        }
+        hooks.observe_generation_start(g, ctx.id(), &diag);
+
+        let start = g * d;
+        let end = ((g + 1) * d).min(cfg.value_bytes);
+        let mut part = input[start..end].to_vec();
+        part.resize(d, cfg.default_byte); // pad the final generation
+        hooks.input_override(g, &mut part);
+
+        let report = run_generation(ctx, cfg, &code, &mut diag, g, &part, hooks, bsb);
+        if report.diagnosis_ran {
+            diagnosis_invocations += 1;
+        }
+        match report.outcome {
+            GenerationOutcome::Decided(v) => {
+                debug_assert_eq!(v.len(), d);
+                output.extend_from_slice(&v);
+                generations_completed += 1;
+            }
+            GenerationOutcome::NoMatch => {
+                // Line 1(f): decide the default value for this and all
+                // remaining generations and terminate.
+                defaulted = true;
+                output.resize(cfg.value_bytes, cfg.default_byte);
+                break;
+            }
+        }
+    }
+    output.truncate(cfg.value_bytes);
+    output.resize(cfg.value_bytes, cfg.default_byte);
+
+    let isolated: Vec<usize> = (0..cfg.n).filter(|&v| diag.is_isolated(v)).collect();
+    let edges_removed = diag.total_removed();
+    EngineReport {
+        output,
+        diagnosis_invocations,
+        generations_completed,
+        defaulted,
+        isolated,
+        edges_removed,
+    }
+}

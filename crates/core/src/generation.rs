@@ -1,0 +1,325 @@
+//! One generation of Algorithm 1: matching, checking and diagnosis stages.
+//!
+//! The line numbers in comments refer to the pseudo-code of Algorithm 1 in
+//! the paper (§3). All control information flows through
+//! `Broadcast_Single_Bit`, so every fault-free processor derives the same
+//! `P_match`, the same `Detected` flags, the same `R#`, the same `Trust`
+//! vectors — and therefore makes the same decisions and the same diagnosis
+//! graph updates.
+
+use mvbc_bsb::{BsbConfig, BsbDriver, BsbInstance, BsbValueSpec};
+use mvbc_netsim::bits::{pack_bits, unpack_bits};
+use mvbc_netsim::NodeCtx;
+use mvbc_rscode::{StripedCode, Symbol};
+
+use crate::clique::find_clique_of_size;
+use crate::config::ConsensusConfig;
+use crate::diag::DiagGraph;
+use crate::hooks::ProtocolHooks;
+
+/// Message tag for the matching-stage symbol dispersal (line 1(a)).
+const TAG_SYMBOL: &str = "consensus.matching.symbol";
+/// BSB session for the `M` vectors (line 1(d)).
+const SESSION_M: &str = "consensus.matching.m";
+/// BSB session for the `Detected` flags (line 2(b)).
+const SESSION_DETECTED: &str = "consensus.checking.detected";
+/// BSB session for the diagnosis symbols `R#` (line 3(a)).
+const SESSION_RSHARP: &str = "consensus.diagnosis.rsharp";
+/// BSB session for the `Trust` vectors (line 3(d)).
+const SESSION_TRUST: &str = "consensus.diagnosis.trust";
+
+/// The decision of one generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerationOutcome {
+    /// Consensus achieved on this `D`-byte generation value.
+    Decided(Vec<u8>),
+    /// No `P_match` exists: the fault-free inputs provably differ and the
+    /// algorithm decides the default value (line 1(f)).
+    NoMatch,
+}
+
+/// What happened during one generation (consumed by experiments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationReport {
+    /// The decision.
+    pub outcome: GenerationOutcome,
+    /// Whether the diagnosis stage executed (misbehaviour was detected).
+    pub diagnosis_ran: bool,
+    /// The matching set, when one was found.
+    pub p_match: Option<Vec<usize>>,
+    /// Undirected edges removed from the diagnosis graph this generation.
+    pub edges_removed: Vec<(usize, usize)>,
+    /// Processors newly isolated this generation.
+    pub newly_isolated: Vec<usize>,
+}
+
+/// Executes Algorithm 1 for one generation.
+///
+/// All fault-free processors must call this in the same round with equal
+/// `cfg`, `code`, a diagnosis graph in the same state, and `g`; `my_part`
+/// is this processor's `D`-byte input part for generation `g`.
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the paper's per-generation state
+pub(crate) fn run_generation(
+    ctx: &mut NodeCtx,
+    cfg: &ConsensusConfig,
+    code: &StripedCode,
+    diag: &mut DiagGraph,
+    g: usize,
+    my_part: &[u8],
+    hooks: &mut dyn ProtocolHooks,
+    bsb: &mut dyn BsbDriver,
+) -> GenerationReport {
+    let n = cfg.n;
+    let t = cfg.t;
+    let me = ctx.id();
+    let active = diag.active_ids();
+    let participants = diag.participants();
+    let stripes = code.layout().stripes;
+    let sym_wire_bits = stripes * 16;
+
+    // ------------------------------------------------------------------
+    // Matching stage
+    // ------------------------------------------------------------------
+
+    // 1(a): encode the generation value and send own symbol to every
+    // trusted processor.
+    let symbols = code
+        .encode_value(my_part)
+        .expect("generation part has the configured size");
+    if participants[me] {
+        for j in 0..n {
+            if j == me || !diag.trusts(me, j) {
+                continue;
+            }
+            let mut payload = symbols[me].to_bytes();
+            if hooks.matching_symbol(g, j, &mut payload) {
+                ctx.send(j, TAG_SYMBOL, payload, code.symbol_bits());
+            }
+        }
+    }
+    let mut inbox = ctx.end_round();
+
+    // 1(b): receive symbols; untrusted senders and malformed payloads
+    // become the distinguished symbol ⊥ (None).
+    let mut received: Vec<Option<Symbol>> = vec![None; n];
+    received[me] = Some(symbols[me].clone());
+    for (j, slot) in received.iter_mut().enumerate() {
+        if j == me || !diag.trusts(me, j) {
+            continue;
+        }
+        *slot = inbox
+            .take(j, TAG_SYMBOL)
+            .and_then(|b| Symbol::from_bytes(&b, stripes, code.symbol_bits()));
+    }
+
+    // 1(c): match flags against the local codeword.
+    let mut m: Vec<bool> = (0..n)
+        .map(|j| j == me || (diag.trusts(me, j) && received[j].as_ref() == Some(&symbols[j])))
+        .collect();
+    hooks.m_vector(g, &mut m);
+
+    // 1(d): broadcast M_i with Broadcast_Single_Bit (one instance per
+    // bit); isolated processors neither broadcast nor are broadcast to.
+    let bsb_m = BsbConfig::new(t, SESSION_M, participants.clone());
+    let m_specs: Vec<BsbValueSpec> = active
+        .iter()
+        .map(|&src| BsbValueSpec {
+            source: src,
+            bits: n,
+            input: (src == me).then(|| m.clone()),
+        })
+        .collect();
+    let m_broadcast = bsb.run_values(ctx, &bsb_m, &m_specs, &mut *hooks);
+    let mut m_all: Vec<Vec<bool>> = vec![vec![false; n]; n];
+    for (idx, &src) in active.iter().enumerate() {
+        m_all[src].clone_from(&m_broadcast[idx]);
+    }
+
+    // 1(e): find P_match of size n - t with pairwise true M flags.
+    let p_match = find_clique_of_size(&active, n - t, |a, b| m_all[a][b] && m_all[b][a]);
+
+    // 1(f): no P_match => fault-free inputs differ; decide default.
+    let Some(p_match) = p_match else {
+        return GenerationReport {
+            outcome: GenerationOutcome::NoMatch,
+            diagnosis_ran: false,
+            p_match: None,
+            edges_removed: Vec::new(),
+            newly_isolated: Vec::new(),
+        };
+    };
+    let mut in_match = vec![false; n];
+    for &j in &p_match {
+        in_match[j] = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Checking stage
+    // ------------------------------------------------------------------
+
+    // The symbols this processor holds from trusted members of P_match
+    // (the set X in the paper's Lemma 4 case 2a).
+    let my_x: Vec<(usize, Symbol)> = p_match
+        .iter()
+        .filter_map(|&j| received[j].clone().map(|s| (j, s)))
+        .collect();
+
+    // 2(a)/2(b): processors outside P_match check consistency and
+    // broadcast their 1-bit verdicts.
+    let outsiders: Vec<usize> = active.iter().copied().filter(|&j| !in_match[j]).collect();
+    let mut detected = if !in_match[me] {
+        !code
+            .is_consistent(&my_x)
+            .expect("received positions are valid")
+    } else {
+        false
+    };
+    if !in_match[me] {
+        hooks.detected_flag(g, &mut detected);
+    }
+    let bsb_det = BsbConfig::new(t, SESSION_DETECTED, participants.clone());
+    let det_instances: Vec<BsbInstance> = outsiders
+        .iter()
+        .map(|&src| BsbInstance {
+            source: src,
+            input: (src == me).then_some(detected),
+        })
+        .collect();
+    let det_flags = bsb.run_batch(ctx, &bsb_det, &det_instances, &mut *hooks);
+    let any_detected = det_flags.iter().any(|&d| d);
+
+    // 2(c): nobody detected an inconsistency — decode from the symbols at
+    // hand. (For a fault-free processor this succeeds and all fault-free
+    // processors obtain the same value, Lemma 3; only a *faulty*
+    // processor can reach the fallback.)
+    if !any_detected {
+        let value = code
+            .decode_value(&my_x)
+            .unwrap_or_else(|_| vec![cfg.default_byte; code.layout().value_bytes]);
+        return GenerationReport {
+            outcome: GenerationOutcome::Decided(value),
+            diagnosis_ran: false,
+            p_match: Some(p_match),
+            edges_removed: Vec::new(),
+            newly_isolated: Vec::new(),
+        };
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnosis stage
+    // ------------------------------------------------------------------
+
+    // 3(a)/3(b): every member of P_match broadcasts the symbol it sent in
+    // the matching stage (one Broadcast_Single_Bit per bit); R#[j] is the
+    // common result.
+    let my_sym_bits: Vec<bool> = unpack_bits(&symbols[me].to_bytes(), sym_wire_bits)
+        .expect("symbol serialisation is self-consistent");
+    let mut my_sym_bits = my_sym_bits;
+    if in_match[me] {
+        hooks.diagnosis_symbol_bits(g, &mut my_sym_bits);
+    }
+    let bsb_rsharp = BsbConfig::new(t, SESSION_RSHARP, participants.clone());
+    let rsharp_specs: Vec<BsbValueSpec> = p_match
+        .iter()
+        .map(|&src| BsbValueSpec {
+            source: src,
+            bits: sym_wire_bits,
+            input: (src == me).then(|| my_sym_bits.clone()),
+        })
+        .collect();
+    let rsharp_bits = bsb.run_values(ctx, &bsb_rsharp, &rsharp_specs, &mut *hooks);
+    let rsharp: Vec<(usize, Symbol)> = p_match
+        .iter()
+        .zip(&rsharp_bits)
+        .map(|(&j, bits)| {
+            let sym = Symbol::from_bytes(&pack_bits(bits), stripes, code.symbol_bits())
+                .expect("fixed-width broadcast yields a well-formed symbol");
+            (j, sym)
+        })
+        .collect();
+
+    // 3(c): local trust verdicts about P_match members.
+    let mut trust: Vec<bool> = rsharp
+        .iter()
+        .map(|(j, sym)| diag.trusts(me, *j) && received[*j].as_ref() == Some(sym))
+        .collect();
+    hooks.trust_vector(g, &mut trust);
+
+    // 3(d): broadcast Trust_i / P_match from every (non-isolated)
+    // processor.
+    let bsb_trust = BsbConfig::new(t, SESSION_TRUST, participants.clone());
+    let trust_specs: Vec<BsbValueSpec> = active
+        .iter()
+        .map(|&src| BsbValueSpec {
+            source: src,
+            bits: p_match.len(),
+            input: (src == me).then(|| trust.clone()),
+        })
+        .collect();
+    let trust_all = bsb.run_values(ctx, &bsb_trust, &trust_specs, &mut *hooks);
+
+    // 3(e): remove accused edges. All processors hold identical
+    // trust_all, so they remove identical edges.
+    let mut edges_removed: Vec<(usize, usize)> = Vec::new();
+    let mut edge_removed_at = vec![false; n];
+    for (ai, &i) in active.iter().enumerate() {
+        for (pj, &j) in p_match.iter().enumerate() {
+            if i == j || !diag.trusts(i, j) {
+                continue;
+            }
+            if !trust_all[ai][pj] {
+                diag.remove_edge(i, j);
+                edge_removed_at[i] = true;
+                edge_removed_at[j] = true;
+                edges_removed.push((i.min(j), i.max(j)));
+            }
+        }
+    }
+
+    // 3(f): when the broadcast symbols form a codeword, an outsider that
+    // claimed detection without any removed edge exposed itself as
+    // faulty.
+    let rsharp_consistent = code
+        .is_consistent(&rsharp)
+        .expect("broadcast positions are valid");
+    let mut newly_isolated: Vec<usize> = Vec::new();
+    if rsharp_consistent {
+        for (oi, &j) in outsiders.iter().enumerate() {
+            if det_flags[oi] && !edge_removed_at[j] && !diag.is_isolated(j) {
+                diag.isolate(j);
+                newly_isolated.push(j);
+            }
+        }
+    }
+
+    // 3(g): the cumulative t + 1 rule.
+    newly_isolated.extend(diag.enforce_isolation());
+    newly_isolated.sort_unstable();
+    newly_isolated.dedup();
+
+    // 3(h): P_decide ⊂ P_match of size n - 2t, pairwise trusting in the
+    // updated graph (existence guaranteed by Lemma 5: the ≥ n - 2t
+    // fault-free members of P_match always trust each other).
+    let p_decide = find_clique_of_size(&p_match, n - 2 * t, |a, b| diag.trusts(a, b))
+        .expect("Lemma 5: P_decide always exists");
+
+    // 3(i): decide on the broadcast symbols of P_decide. For a fault-free
+    // processor the restriction is always consistent (Lemma 5); the
+    // fallback is reachable only by faulty processors.
+    let decide_pairs: Vec<(usize, Symbol)> = rsharp
+        .iter()
+        .filter(|(j, _)| p_decide.contains(j))
+        .cloned()
+        .collect();
+    let value = code
+        .decode_value(&decide_pairs)
+        .unwrap_or_else(|_| vec![cfg.default_byte; code.layout().value_bytes]);
+
+    GenerationReport {
+        outcome: GenerationOutcome::Decided(value),
+        diagnosis_ran: true,
+        p_match: Some(p_match),
+        edges_removed,
+        newly_isolated,
+    }
+}

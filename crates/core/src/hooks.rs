@@ -1,0 +1,119 @@
+//! Byzantine behaviour hooks for the consensus protocol.
+//!
+//! Faulty processors in this workspace execute the honest protocol code
+//! but may mutate any outgoing information through a [`ProtocolHooks`]
+//! implementation. The paper's adversary controls message *content* only
+//! (channels are authenticated, §1), so mutation hooks at every send
+//! point — including inside the `Broadcast_Single_Bit` sub-protocol via
+//! the inherited [`BsbHooks`] — realise the full adversary. Concrete
+//! attack strategies live in the `mvbc-adversary` crate.
+
+use mvbc_bsb::BsbHooks;
+use mvbc_netsim::NodeId;
+
+use crate::diag::DiagGraph;
+
+/// Mutation points of Algorithm 1, by stage and line number.
+///
+/// All methods default to honest no-ops. Slices/vectors are mutated in
+/// place; indices refer to processor ids except where noted.
+pub trait ProtocolHooks: BsbHooks {
+    /// Observation point: called at the start of every generation with
+    /// this processor's id and the current diagnosis graph. The paper's
+    /// adversary has complete knowledge of all state (§1, "no secret is
+    /// hidden from the adversary"); adaptive strategies use this to plan
+    /// which edges to sacrifice.
+    fn observe_generation_start(&mut self, g: usize, me: NodeId, diag: &DiagGraph) {
+        let _ = (g, me, diag);
+    }
+
+    /// Replace this processor's input for generation `g` (models a faulty
+    /// processor that "has" different values at different times).
+    fn input_override(&mut self, g: usize, value: &mut Vec<u8>) {
+        let _ = (g, value);
+    }
+
+    /// Line 1(a): mutate the serialized coded symbol about to be sent to
+    /// `to`; clearing the buffer models sending garbage (the receiver
+    /// treats it as `⊥`). Returning `false` suppresses the send entirely.
+    fn matching_symbol(&mut self, g: usize, to: NodeId, payload: &mut Vec<u8>) -> bool {
+        let _ = (g, to, payload);
+        true
+    }
+
+    /// Line 1(d): mutate the `M` vector before it is broadcast. (Per-
+    /// recipient equivocation of the broadcast itself goes through the
+    /// inherited [`BsbHooks::source_bits`].)
+    fn m_vector(&mut self, g: usize, m: &mut Vec<bool>) {
+        let _ = (g, m);
+    }
+
+    /// Line 2(b): flip the `Detected` flag before broadcasting it.
+    fn detected_flag(&mut self, g: usize, flag: &mut bool) {
+        let _ = (g, flag);
+    }
+
+    /// Line 3(a): mutate the bits of `S_j[j]` this member of `P_match` is
+    /// about to broadcast in the diagnosis stage.
+    fn diagnosis_symbol_bits(&mut self, g: usize, bits: &mut Vec<bool>) {
+        let _ = (g, bits);
+    }
+
+    /// Line 3(d): mutate the `Trust` vector (indexed by position within
+    /// `P_match`) before broadcasting it.
+    fn trust_vector(&mut self, g: usize, trust: &mut Vec<bool>) {
+        let _ = (g, trust);
+    }
+
+    /// Called at the start of generation `g`; returning `true` makes the
+    /// processor crash (stop participating permanently).
+    fn crash_before_generation(&mut self, g: usize) -> bool {
+        let _ = g;
+        false
+    }
+}
+
+/// The honest behaviour: every hook is a no-op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopHooks;
+
+impl BsbHooks for NoopHooks {}
+impl ProtocolHooks for NoopHooks {}
+
+impl NoopHooks {
+    /// Boxed honest hooks, convenient for building hook vectors.
+    pub fn boxed() -> Box<dyn ProtocolHooks> {
+        Box::new(NoopHooks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_defaults() {
+        let mut h = NoopHooks;
+        let mut v = vec![1u8, 2];
+        h.input_override(0, &mut v);
+        assert_eq!(v, vec![1, 2]);
+        let mut payload = vec![3u8];
+        assert!(h.matching_symbol(0, 1, &mut payload));
+        assert_eq!(payload, vec![3]);
+        let mut m = vec![true];
+        h.m_vector(0, &mut m);
+        assert_eq!(m, vec![true]);
+        let mut flag = false;
+        h.detected_flag(0, &mut flag);
+        assert!(!flag);
+        assert!(!h.crash_before_generation(5));
+    }
+
+    #[test]
+    fn hooks_are_object_safe() {
+        let mut boxed: Box<dyn ProtocolHooks> = NoopHooks::boxed();
+        let mut trust = vec![true, false];
+        boxed.trust_vector(1, &mut trust);
+        assert_eq!(trust, vec![true, false]);
+    }
+}

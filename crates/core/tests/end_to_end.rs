@@ -1,0 +1,241 @@
+//! End-to-end tests of the consensus engine with fault-free processors.
+//! (Adversarial executions are tested in `mvbc-adversary` and the
+//! workspace-level `tests/` suite.)
+
+use mvbc_core::{simulate_consensus, ConsensusConfig, NoopHooks};
+use mvbc_metrics::MetricsSink;
+
+fn value(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+}
+
+fn honest_hooks(n: usize) -> Vec<Box<dyn mvbc_core::ProtocolHooks>> {
+    (0..n).map(|_| NoopHooks::boxed()).collect()
+}
+
+#[test]
+fn validity_unanimous_inputs() {
+    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        let cfg = ConsensusConfig::new(n, t, 256).unwrap();
+        let v = value(256, 7);
+        let run = simulate_consensus(&cfg, vec![v.clone(); n], honest_hooks(n), MetricsSink::new());
+        for (id, out) in run.outputs.iter().enumerate() {
+            assert_eq!(*out, v, "n={n} t={t} node={id}");
+        }
+        for r in &run.reports {
+            assert_eq!(r.diagnosis_invocations, 0);
+            assert!(!r.defaulted);
+            assert!(r.isolated.is_empty());
+        }
+    }
+}
+
+#[test]
+fn differing_inputs_decide_default_consistently() {
+    let n = 4;
+    let cfg = ConsensusConfig::new(n, 1, 64).unwrap();
+    let inputs: Vec<Vec<u8>> = (0..n).map(|i| value(64, i as u8)).collect();
+    let run = simulate_consensus(&cfg, inputs, honest_hooks(n), MetricsSink::new());
+    // All processors decide the same value (consistency)...
+    for out in &run.outputs {
+        assert_eq!(*out, run.outputs[0]);
+    }
+    // ...which is the default, since no n - t processors could match.
+    assert_eq!(run.outputs[0], cfg.default_value());
+    assert!(run.reports.iter().all(|r| r.defaulted));
+}
+
+#[test]
+fn n_minus_t_unanimous_suffices_for_that_value() {
+    // Only one input differs (at a fault-free node!): P_match exists among
+    // the n - t holders of the common value; consistency requires all
+    // fault-free outputs equal, and they must equal the majority value
+    // because the matched processors all hold it.
+    let n = 4;
+    let cfg = ConsensusConfig::new(n, 1, 32).unwrap();
+    let common = value(32, 1);
+    let mut inputs = vec![common.clone(); n];
+    inputs[3] = value(32, 99);
+    let run = simulate_consensus(&cfg, inputs, honest_hooks(n), MetricsSink::new());
+    for out in &run.outputs {
+        assert_eq!(*out, common);
+    }
+}
+
+#[test]
+fn one_byte_value() {
+    let n = 4;
+    let cfg = ConsensusConfig::new(n, 1, 1).unwrap();
+    let run = simulate_consensus(&cfg, vec![vec![0xAB]; n], honest_hooks(n), MetricsSink::new());
+    assert!(run.outputs.iter().all(|o| *o == vec![0xAB]));
+}
+
+#[test]
+fn multi_generation_run() {
+    // Force many generations with a small explicit D.
+    let n = 4;
+    let cfg = ConsensusConfig::with_gen_bytes(n, 1, 100, 8).unwrap();
+    assert_eq!(cfg.generations(), 13);
+    let v = value(100, 42);
+    let run = simulate_consensus(&cfg, vec![v.clone(); n], honest_hooks(n), MetricsSink::new());
+    assert!(run.outputs.iter().all(|o| *o == v));
+    assert!(run.reports.iter().all(|r| r.generations_completed == 13));
+}
+
+#[test]
+fn t_zero_fast_path() {
+    let n = 4;
+    let cfg = ConsensusConfig::new(n, 0, 128).unwrap();
+    let v = value(128, 9);
+    let run = simulate_consensus(&cfg, vec![v.clone(); n], honest_hooks(n), MetricsSink::new());
+    assert!(run.outputs.iter().all(|o| *o == v));
+}
+
+#[test]
+fn failure_free_bits_match_paper_model() {
+    // E1 cross-check in miniature: measured bits within the analytic
+    // failure-free model (Eq. 1 without the diagnosis term), using the
+    // exact per-stage accounting.
+    let (n, t) = (7usize, 2usize);
+    let l_bytes = 4096usize;
+    let cfg = ConsensusConfig::new(n, t, l_bytes).unwrap();
+    let metrics = MetricsSink::new();
+    let v = value(l_bytes, 3);
+    let run = simulate_consensus(&cfg, vec![v.clone(); n], honest_hooks(n), metrics.clone());
+    assert!(run.outputs.iter().all(|o| *o == v));
+
+    let snap = metrics.snapshot();
+    let total = snap.total_logical_bits() as f64;
+    let d_bits = cfg.resolved_gen_bytes() as u64 * 8;
+    let b = mvbc_core::dsel::model_b_phase_king(n, t);
+    let model = mvbc_core::dsel::model_ccon_failure_free_bits(n, t, (l_bytes * 8) as u64, d_bits, b);
+    // Generous envelope: the model and the implementation differ in
+    // padding/rounding, but must agree within 2x either way.
+    assert!(total < 2.0 * model, "measured {total} vs model {model}");
+    assert!(total > 0.5 * model, "measured {total} vs model {model}");
+
+    // Stage breakdown exists.
+    assert!(snap.logical_bits_with_prefix("consensus.matching.symbol") > 0);
+    assert!(snap.logical_bits_with_prefix("consensus.matching.m") > 0);
+    assert!(snap.logical_bits_with_prefix("consensus.checking.detected") > 0);
+    assert_eq!(snap.logical_bits_with_prefix("consensus.diagnosis"), 0);
+}
+
+#[test]
+fn larger_network_13_nodes() {
+    let n = 13;
+    let cfg = ConsensusConfig::new(n, 4, 512).unwrap();
+    let v = value(512, 5);
+    let run = simulate_consensus(&cfg, vec![v.clone(); n], honest_hooks(n), MetricsSink::new());
+    assert!(run.outputs.iter().all(|o| *o == v));
+}
+
+#[test]
+#[should_panic(expected = "one input per processor")]
+fn wrong_input_count_panics() {
+    let cfg = ConsensusConfig::new(4, 1, 8).unwrap();
+    let _ = simulate_consensus(&cfg, vec![vec![0; 8]; 3], honest_hooks(4), MetricsSink::new());
+}
+
+#[test]
+fn ablation_reset_diag_breaks_theorem1_bound() {
+    // With the ablation switch on, a persistent attacker is re-diagnosed
+    // every generation (no memory): diagnosis count tracks generations,
+    // far beyond t(t+1) — measuring exactly what §2's design choice buys.
+    use mvbc_core::ProtocolHooks;
+    let n = 4;
+    let t = 1;
+    let mut cfg = ConsensusConfig::with_gen_bytes(n, t, 64, 8).unwrap();
+    cfg.ablation_reset_diag = true;
+    assert_eq!(cfg.generations(), 8);
+    let v = value(64, 3);
+    let mut hooks: Vec<Box<dyn ProtocolHooks>> = honest_hooks(n);
+    hooks[0] = Box::new(PersistentCorruptor);
+    let run = simulate_consensus(&cfg, vec![v.clone(); n], hooks, MetricsSink::new());
+    for id in 1..n {
+        assert_eq!(run.outputs[id], v, "safety must survive the ablation");
+    }
+    let r = &run.reports[1];
+    assert!(
+        r.diagnosis_invocations > (t * (t + 1)) as u64,
+        "without memory the bound must be exceeded (got {})",
+        r.diagnosis_invocations
+    );
+    assert_eq!(r.diagnosis_invocations, 8, "one diagnosis per generation");
+    // Nobody can be permanently isolated: the reset forgives everything.
+    assert!(r.isolated.is_empty());
+}
+
+/// Corrupts its matching symbol toward the highest-id processor in every
+/// generation, forever (the ablation test's persistent attacker).
+#[derive(Debug, Clone, Copy)]
+struct PersistentCorruptor;
+
+impl mvbc_bsb::BsbHooks for PersistentCorruptor {}
+
+impl mvbc_core::ProtocolHooks for PersistentCorruptor {
+    fn matching_symbol(&mut self, _g: usize, to: usize, payload: &mut Vec<u8>) -> bool {
+        if to == 3 {
+            for b in payload.iter_mut() {
+                *b ^= 0xFF;
+            }
+        }
+        true
+    }
+}
+
+#[test]
+fn single_processor_degenerate_network() {
+    // n = 1, t = 0: consensus with yourself.
+    let cfg = ConsensusConfig::new(1, 0, 16).unwrap();
+    let v = value(16, 5);
+    let run = simulate_consensus(&cfg, vec![v.clone()], honest_hooks(1), MetricsSink::new());
+    assert_eq!(run.outputs[0], v);
+}
+
+#[test]
+fn two_processors_no_faults() {
+    let cfg = ConsensusConfig::new(2, 0, 32).unwrap();
+    let v = value(32, 6);
+    let run = simulate_consensus(&cfg, vec![v.clone(); 2], honest_hooks(2), MetricsSink::new());
+    assert!(run.outputs.iter().all(|o| *o == v));
+    // And with differing inputs: default.
+    let run = simulate_consensus(
+        &cfg,
+        vec![value(32, 1), value(32, 2)],
+        honest_hooks(2),
+        MetricsSink::new(),
+    );
+    assert!(run.outputs.iter().all(|o| *o == cfg.default_value()));
+    assert!(run.reports.iter().all(|r| r.defaulted));
+}
+
+#[test]
+fn custom_default_byte_respected() {
+    let mut cfg = ConsensusConfig::new(4, 1, 16).unwrap();
+    cfg.default_byte = 0x99;
+    let inputs: Vec<Vec<u8>> = (0..4).map(|i| value(16, i as u8)).collect();
+    let run = simulate_consensus(&cfg, inputs, honest_hooks(4), MetricsSink::new());
+    assert!(run.outputs.iter().all(|o| *o == vec![0x99u8; 16]));
+}
+
+#[test]
+fn generation_larger_than_value_padded() {
+    // D > L: a single generation with internal padding.
+    let cfg = ConsensusConfig::with_gen_bytes(4, 1, 5, 64).unwrap();
+    assert_eq!(cfg.generations(), 1);
+    let v = value(5, 7);
+    let run = simulate_consensus(&cfg, vec![v.clone(); 4], honest_hooks(4), MetricsSink::new());
+    assert!(run.outputs.iter().all(|o| *o == v));
+}
+
+#[test]
+fn rounds_are_identical_across_honest_reports() {
+    // Lockstep sanity: every node runs the same number of rounds.
+    let cfg = ConsensusConfig::with_gen_bytes(7, 2, 64, 16).unwrap();
+    let v = value(64, 8);
+    let metrics = MetricsSink::new();
+    let run = simulate_consensus(&cfg, vec![v; 7], honest_hooks(7), metrics.clone());
+    assert!(run.rounds > 0);
+    assert_eq!(metrics.snapshot().rounds(), run.rounds);
+}

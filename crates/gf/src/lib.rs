@@ -1,0 +1,36 @@
+//! Galois-field arithmetic for the `mvbc` workspace.
+//!
+//! This crate implements the finite fields GF(2^4), GF(2^8) and GF(2^16)
+//! together with the polynomial and linear-algebra tooling required by the
+//! Reed-Solomon codes of Liang & Vaidya's error-free multi-valued Byzantine
+//! consensus algorithm (PODC 2011). The paper's code `C_2t` is an
+//! `(n, n-2t)` Reed-Solomon code over GF(2^c) with `n <= 2^c - 1`; the
+//! workspace instantiates it over [`Gf65536`] by default so any practical
+//! simulated network size is supported.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvbc_gf::{Field, Gf256};
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xca);
+//! // Multiplication distributes over XOR-addition.
+//! let c = Gf256::new(0x11);
+//! assert_eq!(a * (b + c), a * b + a * c);
+//! // Every non-zero element has a multiplicative inverse.
+//! let inv = a.inv().expect("non-zero element");
+//! assert_eq!(a * inv, Gf256::ONE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod linalg;
+mod poly;
+mod tables;
+
+pub use field::{Field, Gf16, Gf256, Gf65536};
+pub use linalg::{solve_linear_system, GfMatrix, LinalgError};
+pub use poly::{interpolate, InterpolateError, Poly};

@@ -1,0 +1,622 @@
+//! Synchronous fully-connected network simulator.
+//!
+//! Implements the system model of Liang & Vaidya (PODC 2011) §1:
+//!
+//! - a synchronous network of `n` processors with common knowledge of
+//!   processor identities,
+//! - a pair of directed point-to-point channels between every two
+//!   processors, and
+//! - *authenticated channels*: when a processor receives a message on such
+//!   a channel it knows which processor sent it (the simulator stamps the
+//!   true sender on every delivery; a Byzantine processor can lie about
+//!   content but never about its identity).
+//!
+//! Each processor runs on its own OS thread and proceeds in lockstep
+//! rounds: messages sent during round `r` (via [`NodeCtx::send`]) are
+//! delivered to every recipient at the end of round `r` (from
+//! [`NodeCtx::end_round`]). A coordinator thread enforces the round
+//! barrier, routes messages, and feeds the
+//! [`MetricsSink`] that experiments use to
+//! measure communication complexity.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvbc_netsim::{run_simulation, NodeCtx, SimConfig};
+//! use mvbc_metrics::MetricsSink;
+//!
+//! // Two nodes exchange their ids and report the peer's id.
+//! let metrics = MetricsSink::new();
+//! let mk = |_: usize| {
+//!     Box::new(move |ctx: &mut NodeCtx| {
+//!         let peer = 1 - ctx.id();
+//!         ctx.send(peer, "hello", vec![ctx.id() as u8], 8);
+//!         let mut inbox = ctx.end_round();
+//!         inbox.take(peer, "hello").map(|b| b[0] as usize)
+//!     }) as Box<dyn FnOnce(&mut NodeCtx) -> Option<usize> + Send>
+//! };
+//! let out = run_simulation(SimConfig::new(2), metrics, (0..2).map(mk).collect());
+//! assert_eq!(out.outputs, vec![Some(1), Some(0)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod trace;
+
+use std::fmt;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use mvbc_metrics::MetricsSink;
+
+pub use mvbc_metrics::NodeId;
+
+/// How long the coordinator waits for a node's round submission before
+/// declaring the simulation wedged. Protocol bugs (mismatched `end_round`
+/// counts between nodes) surface as this panic instead of a silent hang.
+const ROUND_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of processors.
+    pub n: usize,
+    /// Abort the run if it exceeds this many rounds (guards against
+    /// run-away protocols in tests). `None` disables the check.
+    pub max_rounds: Option<u64>,
+}
+
+impl SimConfig {
+    /// Configuration with the default round limit (1 million).
+    pub fn new(n: usize) -> Self {
+        SimConfig {
+            n,
+            max_rounds: Some(1_000_000),
+        }
+    }
+}
+
+/// One delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// True sender identity (authenticated channel).
+    pub from: NodeId,
+    /// Protocol tag; sub-protocols use distinct tags to multiplex a round.
+    pub tag: &'static str,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+/// All messages delivered to one node at one round boundary, grouped by
+/// sender.
+#[derive(Debug, Clone, Default)]
+pub struct Inbox {
+    by_sender: Vec<Vec<Message>>,
+}
+
+impl Inbox {
+    fn new(n: usize) -> Self {
+        Inbox {
+            by_sender: vec![Vec::new(); n],
+        }
+    }
+
+    /// Messages received from `sender`, in send order.
+    pub fn from_sender(&self, sender: NodeId) -> &[Message] {
+        &self.by_sender[sender]
+    }
+
+    /// Removes and returns the first message from `sender` carrying `tag`.
+    ///
+    /// Returns `None` when no such message arrived — Byzantine silence and
+    /// "message not sent" are indistinguishable, exactly as in the model.
+    pub fn take(&mut self, sender: NodeId, tag: &str) -> Option<Bytes> {
+        let msgs = &mut self.by_sender[sender];
+        let idx = msgs.iter().position(|m| m.tag == tag)?;
+        Some(msgs.remove(idx).payload)
+    }
+
+    /// Total number of messages in the inbox.
+    pub fn len(&self) -> usize {
+        self.by_sender.iter().map(Vec::len).sum()
+    }
+
+    /// True when no messages were delivered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct Outgoing {
+    to: NodeId,
+    msg: Message,
+    logical_bits: u64,
+}
+
+enum CoordMsg {
+    Submit {
+        from: NodeId,
+        outgoing: Vec<Outgoing>,
+    },
+    Finished {
+        from: NodeId,
+    },
+}
+
+/// Handle through which node logic interacts with the network.
+///
+/// See the crate docs for the round semantics.
+pub struct NodeCtx {
+    id: NodeId,
+    n: usize,
+    round: u64,
+    pending: Vec<Outgoing>,
+    to_coord: Sender<CoordMsg>,
+    from_coord: Receiver<Inbox>,
+    metrics: MetricsSink,
+}
+
+impl fmt::Debug for NodeCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeCtx")
+            .field("id", &self.id)
+            .field("n", &self.n)
+            .field("round", &self.round)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NodeCtx {
+    /// This processor's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of processors in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Shared metrics sink (e.g. for protocol-level custom counters).
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
+    }
+
+    /// Queues a message for delivery at the end of the current round.
+    ///
+    /// `logical_bits` is the message's size under the algorithm's own
+    /// accounting (see [`mvbc_metrics`]); it is what the communication
+    /// complexity experiments sum up.
+    ///
+    /// Sending to self is allowed and delivered like any other message.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `to >= n`.
+    pub fn send(&mut self, to: NodeId, tag: &'static str, payload: impl Into<Bytes>, logical_bits: u64) {
+        assert!(to < self.n, "recipient {to} out of range (n = {})", self.n);
+        let payload = payload.into();
+        self.metrics
+            .record_send(self.id, tag, logical_bits, payload.len() as u64);
+        self.pending.push(Outgoing {
+            to,
+            msg: Message {
+                from: self.id,
+                tag,
+                payload,
+            },
+            logical_bits,
+        });
+    }
+
+    /// Completes the current round: flushes queued messages and blocks
+    /// until every other processor has completed the round too, then
+    /// returns the messages delivered to this processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinator has shut down (another node panicked or
+    /// the round limit was hit).
+    pub fn end_round(&mut self) -> Inbox {
+        let outgoing = std::mem::take(&mut self.pending);
+        self.to_coord
+            .send(CoordMsg::Submit {
+                from: self.id,
+                outgoing,
+            })
+            .expect("coordinator alive");
+        let inbox = self
+            .from_coord
+            .recv()
+            .expect("coordinator delivers a round inbox");
+        self.round += 1;
+        inbox
+    }
+}
+
+/// The boxed per-node logic closure executed by [`run_simulation`].
+pub type NodeLogic<O> = Box<dyn FnOnce(&mut NodeCtx) -> O + Send>;
+
+/// Result of a completed simulation.
+#[derive(Debug)]
+pub struct SimResult<O> {
+    /// Output of each node's logic, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+/// Runs `n` node closures to completion under the synchronous round model.
+///
+/// Each closure runs on its own thread; outputs are collected by node id.
+/// Byzantine "crash"/"silence" is modelled by a closure returning early.
+///
+/// # Panics
+///
+/// Panics if any node logic panics (the panic is propagated with the node
+/// id), if `nodes.len() != config.n`, or if `config.max_rounds` is
+/// exceeded.
+pub fn run_simulation<O: Send + 'static>(
+    config: SimConfig,
+    metrics: MetricsSink,
+    nodes: Vec<NodeLogic<O>>,
+) -> SimResult<O> {
+    run_simulation_traced(config, metrics, None, nodes)
+}
+
+/// As [`run_simulation`], additionally recording every delivered message
+/// into `trace` (when supplied). Tracing does not change scheduling or
+/// results — the simulator is deterministic either way — so a traced run
+/// is bit-identical to an untraced one.
+///
+/// # Panics
+///
+/// As [`run_simulation`].
+pub fn run_simulation_traced<O: Send + 'static>(
+    config: SimConfig,
+    metrics: MetricsSink,
+    trace: Option<trace::TraceSink>,
+    nodes: Vec<NodeLogic<O>>,
+) -> SimResult<O> {
+    let n = config.n;
+    assert!(n > 0, "simulation needs at least one node");
+    assert_eq!(nodes.len(), n, "one logic closure per node required");
+
+    let (to_coord, coord_rx) = channel::unbounded::<CoordMsg>();
+
+    std::thread::scope(|scope| {
+        let mut node_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (id, logic) in nodes.into_iter().enumerate() {
+            let (tx, rx) = channel::unbounded::<Inbox>();
+            node_txs.push(tx);
+            let to_coord = to_coord.clone();
+            let metrics = metrics.clone();
+            handles.push(scope.spawn(move || {
+                let mut ctx = NodeCtx {
+                    id,
+                    n,
+                    round: 0,
+                    pending: Vec::new(),
+                    to_coord: to_coord.clone(),
+                    from_coord: rx,
+                    metrics,
+                };
+                // Always announce termination, even on panic, so the
+                // coordinator never wedges; the panic is re-raised and
+                // surfaced with the node id at join time.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| logic(&mut ctx)));
+                let _ = to_coord.send(CoordMsg::Finished { from: id });
+                match result {
+                    Ok(out) => out,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }));
+        }
+        drop(to_coord);
+
+        // Coordinator loop (runs on the scope's owning thread).
+        let mut active = vec![true; n];
+        let mut active_count = n;
+        let mut rounds: u64 = 0;
+        while active_count > 0 {
+            let mut submissions: Vec<Option<Vec<Outgoing>>> = (0..n).map(|_| None).collect();
+            let mut waiting = active_count;
+            while waiting > 0 {
+                let msg = coord_rx
+                    .recv_timeout(ROUND_TIMEOUT)
+                    .expect("simulation wedged: a node stopped participating in rounds");
+                match msg {
+                    CoordMsg::Submit { from, outgoing } => {
+                        assert!(
+                            submissions[from].is_none(),
+                            "node {from} submitted twice in one round"
+                        );
+                        submissions[from] = Some(outgoing);
+                        waiting -= 1;
+                    }
+                    CoordMsg::Finished { from } => {
+                        if active[from] {
+                            active[from] = false;
+                            active_count -= 1;
+                            // A node that had already submitted this round and
+                            // then finished: its submission stays valid.
+                            if submissions[from].is_none() {
+                                waiting -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if active_count == 0 && submissions.iter().all(Option::is_none) {
+                break;
+            }
+            rounds += 1;
+            if let Some(limit) = config.max_rounds {
+                assert!(rounds <= limit, "round limit {limit} exceeded");
+            }
+            metrics.record_round();
+            // Route: recipients see messages grouped by sender id.
+            let mut inboxes: Vec<Inbox> = (0..n).map(|_| Inbox::new(n)).collect();
+            for sub in submissions.into_iter().flatten() {
+                for out in sub {
+                    if let Some(trace) = &trace {
+                        trace.record(trace::TraceEvent {
+                            round: rounds,
+                            from: out.msg.from,
+                            to: out.to,
+                            tag: out.msg.tag,
+                            logical_bits: out.logical_bits,
+                            payload_bytes: out.msg.payload.len() as u64,
+                        });
+                    }
+                    if active[out.to] {
+                        inboxes[out.to].by_sender[out.msg.from].push(out.msg);
+                    }
+                }
+            }
+            for (id, inbox) in inboxes.into_iter().enumerate() {
+                if active[id] {
+                    // A send error means the node finished right after
+                    // submitting; it will be deactivated via Finished.
+                    let _ = node_txs[id].send(inbox);
+                }
+            }
+        }
+
+        let outputs: Vec<O> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(id, h)| match h.join() {
+                Ok(o) => o,
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("node {id} panicked: {msg}");
+                }
+            })
+            .collect();
+        SimResult { outputs, rounds }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Logic<O> = Box<dyn FnOnce(&mut NodeCtx) -> O + Send>;
+
+    fn run<O: Send + 'static>(n: usize, mk: impl Fn(usize) -> Logic<O>) -> (SimResult<O>, MetricsSink) {
+        let metrics = MetricsSink::new();
+        let logics = (0..n).map(&mk).collect();
+        let res = run_simulation(SimConfig::new(n), metrics.clone(), logics);
+        (res, metrics)
+    }
+
+    #[test]
+    fn all_to_all_exchange() {
+        let (res, metrics) = run(4, |_| {
+            Box::new(|ctx: &mut NodeCtx| {
+                for to in 0..ctx.n() {
+                    if to != ctx.id() {
+                        ctx.send(to, "ping", vec![ctx.id() as u8], 8);
+                    }
+                }
+                let inbox = ctx.end_round();
+                let mut got: Vec<usize> = (0..ctx.n())
+                    .filter(|&s| !inbox.from_sender(s).is_empty())
+                    .collect();
+                got.sort_unstable();
+                got
+            })
+        });
+        for (id, got) in res.outputs.iter().enumerate() {
+            let expect: Vec<usize> = (0..4).filter(|&s| s != id).collect();
+            assert_eq!(*got, expect);
+        }
+        assert_eq!(res.rounds, 1);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.total_messages(), 12);
+        assert_eq!(snap.total_logical_bits(), 96);
+        assert_eq!(snap.rounds(), 1);
+    }
+
+    #[test]
+    fn multi_round_pipeline() {
+        // Token passes 0 -> 1 -> 2 -> 0 over three rounds.
+        let (res, _) = run(3, |_| {
+            Box::new(|ctx: &mut NodeCtx| {
+                let mut token: Option<u8> = (ctx.id() == 0).then_some(42);
+                for _ in 0..3 {
+                    if let Some(t) = token.take() {
+                        ctx.send((ctx.id() + 1) % ctx.n(), "tok", vec![t], 8);
+                    }
+                    let mut inbox = ctx.end_round();
+                    let prev = (ctx.id() + ctx.n() - 1) % ctx.n();
+                    if let Some(b) = inbox.take(prev, "tok") {
+                        token = Some(b[0]);
+                    }
+                }
+                token
+            })
+        });
+        assert_eq!(res.outputs, vec![Some(42), None, None]);
+        assert_eq!(res.rounds, 3);
+    }
+
+    #[test]
+    fn early_finisher_does_not_deadlock() {
+        // Node 2 "crashes" immediately; others exchange for 2 rounds.
+        let (res, _) = run(3, |id| {
+            Box::new(move |ctx: &mut NodeCtx| {
+                if id == 2 {
+                    return 0usize;
+                }
+                let mut received = 0usize;
+                for _ in 0..2 {
+                    for to in 0..ctx.n() {
+                        if to != ctx.id() {
+                            ctx.send(to, "x", Bytes::new(), 1);
+                        }
+                    }
+                    let inbox = ctx.end_round();
+                    received += inbox.len();
+                }
+                received
+            })
+        });
+        // Each active node hears only from the other active node.
+        assert_eq!(res.outputs[0], 2);
+        assert_eq!(res.outputs[1], 2);
+        assert_eq!(res.outputs[2], 0);
+    }
+
+    #[test]
+    fn messages_to_finished_nodes_are_dropped() {
+        let (res, metrics) = run(2, |id| {
+            Box::new(move |ctx: &mut NodeCtx| {
+                if id == 1 {
+                    return 0usize;
+                }
+                ctx.send(1, "into-void", vec![1, 2, 3], 24);
+                let inbox = ctx.end_round();
+                inbox.len()
+            })
+        });
+        assert_eq!(res.outputs[0], 0);
+        // The send is still *counted*: the bits were transmitted.
+        assert_eq!(metrics.snapshot().total_logical_bits(), 24);
+    }
+
+    #[test]
+    fn sender_identity_is_authenticated() {
+        // Receiver sees the true `from` regardless of payload claims.
+        let (res, _) = run(2, |id| {
+            Box::new(move |ctx: &mut NodeCtx| {
+                if id == 0 {
+                    // claims to be node 7 in the payload
+                    ctx.send(1, "spoof", vec![7u8], 8);
+                    ctx.end_round();
+                    None
+                } else {
+                    let inbox = ctx.end_round();
+                    inbox.from_sender(0).first().map(|m| m.from)
+                }
+            })
+        });
+        assert_eq!(res.outputs[1], Some(0));
+    }
+
+    #[test]
+    fn take_consumes_messages_in_order() {
+        let (res, _) = run(2, |id| {
+            Box::new(move |ctx: &mut NodeCtx| {
+                if id == 0 {
+                    ctx.send(1, "a", vec![1], 8);
+                    ctx.send(1, "b", vec![2], 8);
+                    ctx.send(1, "a", vec![3], 8);
+                    ctx.end_round();
+                    Vec::new()
+                } else {
+                    let mut inbox = ctx.end_round();
+                    let mut got = Vec::new();
+                    got.push(inbox.take(0, "a").unwrap()[0]);
+                    got.push(inbox.take(0, "a").unwrap()[0]);
+                    assert!(inbox.take(0, "a").is_none());
+                    got.push(inbox.take(0, "b").unwrap()[0]);
+                    got
+                }
+            })
+        });
+        assert_eq!(res.outputs[1], vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let (res, _) = run(1, |_| {
+            Box::new(|ctx: &mut NodeCtx| {
+                ctx.send(0, "self", vec![9], 8);
+                let mut inbox = ctx.end_round();
+                inbox.take(0, "self").map(|b| b[0])
+            })
+        });
+        assert_eq!(res.outputs[0], Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        let _ = run(1, |_| {
+            Box::new(|ctx: &mut NodeCtx| {
+                ctx.send(5, "bad", Bytes::new(), 0);
+            })
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "round limit")]
+    fn round_limit_enforced() {
+        let metrics = MetricsSink::new();
+        let logics: Vec<NodeLogic<()>> = vec![Box::new(|ctx| loop {
+            ctx.end_round();
+        })];
+        let cfg = SimConfig {
+            n: 1,
+            max_rounds: Some(10),
+        };
+        let _ = run_simulation(cfg, metrics, logics);
+    }
+
+    #[test]
+    #[should_panic(expected = "node 0 panicked")]
+    fn node_panic_propagates() {
+        let metrics = MetricsSink::new();
+        let logics: Vec<NodeLogic<()>> = vec![Box::new(|_| panic!("boom"))];
+        let _ = run_simulation(SimConfig::new(1), metrics, logics);
+    }
+
+    #[test]
+    fn rounds_match_between_result_and_metrics() {
+        let (res, metrics) = run(2, |_| {
+            Box::new(|ctx: &mut NodeCtx| {
+                for _ in 0..5 {
+                    ctx.end_round();
+                }
+            })
+        });
+        assert_eq!(res.rounds, 5);
+        assert_eq!(metrics.snapshot().rounds(), 5);
+    }
+}

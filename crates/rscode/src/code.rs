@@ -1,0 +1,430 @@
+//! The core `(n, k)` Reed-Solomon code over one field.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use mvbc_gf::{interpolate, Field, Poly};
+
+/// Errors produced by Reed-Solomon encoding and decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeError {
+    /// Code parameters are invalid (`k == 0`, `k > n`, or `n` exceeds the
+    /// number of distinct non-zero field points `2^c - 1`).
+    InvalidParameters {
+        /// Requested codeword length.
+        n: usize,
+        /// Requested dimension.
+        k: usize,
+        /// Field size `2^c`.
+        field_order: u64,
+    },
+    /// Wrong number of data symbols passed to `encode`.
+    WrongDataLength {
+        /// Expected `k`.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// Fewer than `k` symbols supplied to a decode operation.
+    NotEnoughSymbols {
+        /// Code dimension `k`.
+        needed: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// A symbol position is `>= n` or appears twice.
+    BadPosition {
+        /// The offending position.
+        position: usize,
+    },
+    /// The supplied symbols are not consistent with any codeword.
+    Inconsistent,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParameters { n, k, field_order } => write!(
+                f,
+                "invalid Reed-Solomon parameters (n = {n}, k = {k}, field order = {field_order})"
+            ),
+            CodeError::WrongDataLength { expected, got } => {
+                write!(f, "expected {expected} data symbols, got {got}")
+            }
+            CodeError::NotEnoughSymbols { needed, got } => {
+                write!(f, "need at least {needed} symbols to decode, got {got}")
+            }
+            CodeError::BadPosition { position } => {
+                write!(f, "symbol position {position} is out of range or duplicated")
+            }
+            CodeError::Inconsistent => write!(f, "symbols do not lie on a single codeword"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// An `(n, k)` Reed-Solomon code over field `F`.
+///
+/// A data vector `d[0..k]` is interpreted as the polynomial
+/// `p(x) = d[0] + d[1] x + ... + d[k-1] x^{k-1}` and the codeword is
+/// `(p(alpha_0), ..., p(alpha_{n-1}))` at fixed pairwise-distinct points.
+/// Any `k` codeword symbols determine `p` (Vandermonde), giving the
+/// paper's key property that every `k`-subset of coded symbols is a set of
+/// linearly independent combinations of the data symbols.
+///
+/// Minimum distance is `n - k + 1`; with `k = n - 2t` this is the paper's
+/// distance-`(2t + 1)` code `C_2t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReedSolomon<F: Field> {
+    n: usize,
+    k: usize,
+    alphas: Vec<F>,
+    _marker: PhantomData<F>,
+}
+
+impl<F: Field> ReedSolomon<F> {
+    /// Creates an `(n, k)` code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] unless
+    /// `1 <= k <= n <= 2^c - 1`.
+    pub fn new(n: usize, k: usize) -> Result<Self, CodeError> {
+        if k == 0 || k > n || (n as u64) > F::ORDER - 1 {
+            return Err(CodeError::InvalidParameters {
+                n,
+                k,
+                field_order: F::ORDER,
+            });
+        }
+        Ok(ReedSolomon {
+            n,
+            k,
+            alphas: (0..n).map(F::alpha).collect(),
+            _marker: PhantomData,
+        })
+    }
+
+    /// Creates the paper's code `C_2t`: an `(n, n - 2t)` code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodeError::InvalidParameters`] when `n <= 2t` or `n`
+    /// exceeds the field.
+    pub fn c2t(n: usize, t: usize) -> Result<Self, CodeError> {
+        let k = n.saturating_sub(2 * t);
+        Self::new(n, k)
+    }
+
+    /// Codeword length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Code dimension `k` (`n - 2t` for `C_2t`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Minimum Hamming distance `n - k + 1`.
+    pub fn distance(&self) -> usize {
+        self.n - self.k + 1
+    }
+
+    /// The evaluation point for codeword position `j`.
+    pub fn alpha(&self, j: usize) -> F {
+        self.alphas[j]
+    }
+
+    /// Encodes `k` data symbols into an `n`-symbol codeword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::WrongDataLength`] when `data.len() != k`.
+    pub fn encode(&self, data: &[F]) -> Result<Vec<F>, CodeError> {
+        if data.len() != self.k {
+            return Err(CodeError::WrongDataLength {
+                expected: self.k,
+                got: data.len(),
+            });
+        }
+        let p = Poly::from_coeffs(data.to_vec());
+        Ok(self.alphas.iter().map(|&a| p.eval(a)).collect())
+    }
+
+    /// Validates `(position, symbol)` pairs: positions in range, no
+    /// duplicates.
+    fn validate_positions(&self, symbols: &[(usize, F)]) -> Result<(), CodeError> {
+        let mut seen = vec![false; self.n];
+        for &(pos, _) in symbols {
+            if pos >= self.n {
+                return Err(CodeError::BadPosition { position: pos });
+            }
+            if seen[pos] {
+                return Err(CodeError::BadPosition { position: pos });
+            }
+            seen[pos] = true;
+        }
+        Ok(())
+    }
+
+    /// Interpolates the data polynomial through the first `k` of the given
+    /// symbols and verifies the remaining ones lie on it.
+    fn interpolate_checked(&self, symbols: &[(usize, F)]) -> Result<Poly<F>, CodeError> {
+        self.validate_positions(symbols)?;
+        if symbols.len() < self.k {
+            return Err(CodeError::NotEnoughSymbols {
+                needed: self.k,
+                got: symbols.len(),
+            });
+        }
+        let pts: Vec<(F, F)> = symbols[..self.k]
+            .iter()
+            .map(|&(pos, s)| (self.alphas[pos], s))
+            .collect();
+        let p = interpolate(&pts).expect("alphas are pairwise distinct");
+        if p.degree().is_some_and(|d| d >= self.k) {
+            // Cannot happen: interpolation through k points has degree < k.
+            return Err(CodeError::Inconsistent);
+        }
+        for &(pos, s) in &symbols[self.k..] {
+            if p.eval(self.alphas[pos]) != s {
+                return Err(CodeError::Inconsistent);
+            }
+        }
+        Ok(p)
+    }
+
+    /// The paper's consistency predicate `V/A ∈ C_2t`: do the given
+    /// `(position, symbol)` pairs all lie on one codeword?
+    ///
+    /// Fewer than `k` symbols are vacuously consistent (some codeword always
+    /// extends them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::BadPosition`] for out-of-range or duplicated
+    /// positions.
+    pub fn is_consistent(&self, symbols: &[(usize, F)]) -> Result<bool, CodeError> {
+        self.validate_positions(symbols)?;
+        if symbols.len() < self.k {
+            return Ok(true);
+        }
+        match self.interpolate_checked(symbols) {
+            Ok(_) => Ok(true),
+            Err(CodeError::Inconsistent) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The paper's decoding function `C_2t^{-1}(V/A)`: recovers the `k` data
+    /// symbols from at least `k` symbols, verifying that *all* provided
+    /// symbols are consistent with the decoded codeword.
+    ///
+    /// # Errors
+    ///
+    /// - [`CodeError::NotEnoughSymbols`] with fewer than `k` symbols.
+    /// - [`CodeError::Inconsistent`] when the symbols do not all lie on one
+    ///   codeword.
+    /// - [`CodeError::BadPosition`] for invalid positions.
+    pub fn decode(&self, symbols: &[(usize, F)]) -> Result<Vec<F>, CodeError> {
+        let p = self.interpolate_checked(symbols)?;
+        let mut data = p.into_coeffs();
+        data.resize(self.k, F::ZERO);
+        Ok(data)
+    }
+
+    /// Recomputes the full codeword from at least `k` consistent symbols.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReedSolomon::decode`].
+    pub fn extend(&self, symbols: &[(usize, F)]) -> Result<Vec<F>, CodeError> {
+        let p = self.interpolate_checked(symbols)?;
+        Ok(self.alphas.iter().map(|&a| p.eval(a)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvbc_gf::{Gf16, Gf256, Gf65536};
+
+    fn code(n: usize, k: usize) -> ReedSolomon<Gf256> {
+        ReedSolomon::new(n, k).unwrap()
+    }
+
+    fn data(vals: &[u8]) -> Vec<Gf256> {
+        vals.iter().map(|&v| Gf256::new(v)).collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ReedSolomon::<Gf256>::new(10, 0).is_err());
+        assert!(ReedSolomon::<Gf256>::new(3, 4).is_err());
+        assert!(ReedSolomon::<Gf16>::new(16, 2).is_err()); // only 15 points
+        assert!(ReedSolomon::<Gf16>::new(15, 2).is_ok());
+        assert!(ReedSolomon::<Gf65536>::new(1000, 500).is_ok());
+    }
+
+    #[test]
+    fn c2t_constructor() {
+        let rs = ReedSolomon::<Gf256>::c2t(7, 2).unwrap();
+        assert_eq!(rs.n(), 7);
+        assert_eq!(rs.k(), 3);
+        assert_eq!(rs.distance(), 5); // 2t + 1
+        assert!(ReedSolomon::<Gf256>::c2t(6, 3).is_err()); // n = 2t
+    }
+
+    #[test]
+    fn encode_wrong_length_rejected() {
+        let rs = code(7, 3);
+        assert_eq!(
+            rs.encode(&data(&[1, 2])),
+            Err(CodeError::WrongDataLength { expected: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn roundtrip_every_k_subset() {
+        let rs = code(7, 3);
+        let d = data(&[42, 17, 99]);
+        let cw = rs.encode(&d).unwrap();
+        // All C(7,3) = 35 subsets of size k decode identically.
+        for a in 0..7 {
+            for b in a + 1..7 {
+                for c in b + 1..7 {
+                    let picks = [(a, cw[a]), (b, cw[b]), (c, cw[c])];
+                    assert_eq!(rs.decode(&picks).unwrap(), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_detects_single_corruption_with_full_codeword() {
+        let rs = code(7, 3);
+        let cw = rs.encode(&data(&[1, 2, 3])).unwrap();
+        for victim in 0..7 {
+            let mut bad = cw.clone();
+            bad[victim] += Gf256::ONE;
+            let pairs: Vec<_> = bad.iter().copied().enumerate().collect();
+            assert!(!rs.is_consistent(&pairs).unwrap());
+        }
+    }
+
+    #[test]
+    fn minimum_distance_is_achieved() {
+        // Two distinct codewords differ in at least n - k + 1 positions.
+        let rs = code(7, 3);
+        let c1 = rs.encode(&data(&[1, 2, 3])).unwrap();
+        let c2 = rs.encode(&data(&[1, 2, 4])).unwrap();
+        let diff = c1.iter().zip(&c2).filter(|(a, b)| a != b).count();
+        assert!(diff >= rs.distance());
+    }
+
+    #[test]
+    fn consistency_vacuous_below_k() {
+        let rs = code(7, 3);
+        assert!(rs.is_consistent(&[(0, Gf256::new(5)), (3, Gf256::new(9))]).unwrap());
+        assert!(rs.is_consistent(&[]).unwrap());
+    }
+
+    #[test]
+    fn consistency_with_exactly_k_symbols_is_always_true() {
+        let rs = code(7, 3);
+        // Any k points define some polynomial of degree < k.
+        let picks = [(0, Gf256::new(1)), (1, Gf256::new(200)), (6, Gf256::new(77))];
+        assert!(rs.is_consistent(&picks).unwrap());
+    }
+
+    #[test]
+    fn inconsistent_symbols_detected_and_reported_by_decode() {
+        let rs = code(7, 3);
+        let cw = rs.encode(&data(&[8, 8, 8])).unwrap();
+        let mut pairs: Vec<_> = cw.iter().copied().enumerate().collect();
+        pairs[5].1 += Gf256::new(3);
+        assert_eq!(rs.decode(&pairs), Err(CodeError::Inconsistent));
+        assert!(!rs.is_consistent(&pairs).unwrap());
+    }
+
+    #[test]
+    fn bad_positions_rejected() {
+        let rs = code(7, 3);
+        assert_eq!(
+            rs.is_consistent(&[(7, Gf256::ZERO)]),
+            Err(CodeError::BadPosition { position: 7 })
+        );
+        assert_eq!(
+            rs.decode(&[(1, Gf256::ZERO), (1, Gf256::ONE), (2, Gf256::ZERO)]),
+            Err(CodeError::BadPosition { position: 1 })
+        );
+    }
+
+    #[test]
+    fn not_enough_symbols_rejected() {
+        let rs = code(7, 3);
+        assert_eq!(
+            rs.decode(&[(0, Gf256::ZERO)]),
+            Err(CodeError::NotEnoughSymbols { needed: 3, got: 1 })
+        );
+    }
+
+    #[test]
+    fn extend_recovers_missing_symbols() {
+        let rs = code(9, 4);
+        let d = data(&[5, 6, 7, 8]);
+        let cw = rs.encode(&d).unwrap();
+        let partial: Vec<_> = cw.iter().copied().enumerate().take(4).collect();
+        assert_eq!(rs.extend(&partial).unwrap(), cw);
+    }
+
+    #[test]
+    fn zero_data_encodes_to_zero_codeword() {
+        let rs = code(5, 2);
+        let cw = rs.encode(&data(&[0, 0])).unwrap();
+        assert!(cw.iter().all(|s| s.is_zero()));
+    }
+
+    #[test]
+    fn decode_pads_short_polynomials() {
+        // Data whose polynomial has low degree must still decode to k
+        // symbols (trailing zeros preserved).
+        let rs = code(6, 3);
+        let d = data(&[9, 0, 0]);
+        let cw = rs.encode(&d).unwrap();
+        let picks: Vec<_> = cw.iter().copied().enumerate().take(3).collect();
+        assert_eq!(rs.decode(&picks).unwrap(), d);
+    }
+
+    #[test]
+    fn rate_one_code_is_identity_like() {
+        let rs = code(4, 4);
+        let d = data(&[1, 2, 3, 4]);
+        let cw = rs.encode(&d).unwrap();
+        let picks: Vec<_> = cw.iter().copied().enumerate().collect();
+        assert_eq!(rs.decode(&picks).unwrap(), d);
+        assert_eq!(rs.distance(), 1);
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = CodeError::InvalidParameters { n: 3, k: 9, field_order: 256 };
+        assert!(e.to_string().contains("invalid"));
+        assert!(CodeError::Inconsistent.to_string().contains("codeword"));
+        assert!(CodeError::NotEnoughSymbols { needed: 3, got: 1 }
+            .to_string()
+            .contains("at least 3"));
+    }
+
+    #[test]
+    fn large_field_large_code() {
+        let rs: ReedSolomon<Gf65536> = ReedSolomon::new(64, 22).unwrap();
+        let d: Vec<Gf65536> = (0..22).map(|i| Gf65536::new(i * 997)).collect();
+        let cw = rs.encode(&d).unwrap();
+        let picks: Vec<_> = cw.iter().copied().enumerate().skip(42).collect();
+        assert_eq!(picks.len(), 22);
+        assert_eq!(rs.decode(&picks).unwrap(), d);
+    }
+}

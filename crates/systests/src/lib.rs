@@ -1,0 +1,45 @@
+//! Shared helpers for the workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`).
+//!
+//! This crate carries no protocol logic of its own; see `mvbc-core` for
+//! the algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mvbc_core::ProtocolHooks;
+
+/// Deterministic pseudo-random test value of `len` bytes.
+pub fn test_value(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+/// `n` honest hook objects.
+pub fn honest_hooks(n: usize) -> Vec<Box<dyn ProtocolHooks>> {
+    (0..n).map(|_| mvbc_core::NoopHooks::boxed()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_value_deterministic() {
+        assert_eq!(test_value(16, 7), test_value(16, 7));
+        assert_ne!(test_value(16, 7), test_value(16, 8));
+        assert_eq!(test_value(16, 7).len(), 16);
+    }
+
+    #[test]
+    fn honest_hooks_count() {
+        assert_eq!(honest_hooks(5).len(), 5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Fault-tolerant distributed storage: seven replicas commit a 16 KiB
+//! block by consensus while one Byzantine replica actively lies.
+//!
+//! This is the paper's opening motivation: "the value being agreed upon
+//! may be a large file in a fault-tolerant distributed storage system".
+//! The example shows (a) the Byzantine replica being diagnosed and its
+//! diagnosis-graph edges removed, and (b) the measured communication
+//! staying near the `n(n-1)/(n-2t) · L` coefficient instead of the
+//! `Ω(n² L)` a bitwise approach would pay.
+//!
+//! ```sh
+//! cargo run -p mvbc-systests --example distributed_storage
+//! ```
+
+use mvbc_adversary::CorruptSymbolTo;
+use mvbc_core::{dsel, simulate_consensus, ConsensusConfig, NoopHooks, ProtocolHooks};
+use mvbc_metrics::MetricsSink;
+use mvbc_systests::test_value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, t) = (7usize, 2usize);
+    let block_len = 16 * 1024;
+    let block = test_value(block_len, 0xB10C);
+    let cfg = ConsensusConfig::new(n, t, block_len)?;
+
+    // Replica 6 is Byzantine: it corrupts the coded symbols it sends to
+    // replicas 0 and 1 during the first two generations.
+    let mut hooks: Vec<Box<dyn ProtocolHooks>> = (0..n).map(|_| NoopHooks::boxed()).collect();
+    hooks[6] = Box::new(CorruptSymbolTo::for_first_generations(vec![0, 1], 2));
+
+    let metrics = MetricsSink::new();
+    let run = simulate_consensus(&cfg, vec![block.clone(); n], hooks, metrics.clone());
+
+    println!("replicated block commit: n = {n}, t = {t}, L = {} KiB", block_len / 1024);
+    println!(
+        "generations: {} x {} bytes (D* from Eq. (2))",
+        cfg.generations(),
+        cfg.resolved_gen_bytes()
+    );
+
+    for id in 0..n {
+        if id == 6 {
+            continue;
+        }
+        assert_eq!(run.outputs[id], block, "replica {id} committed a wrong block");
+    }
+    let report = &run.reports[0];
+    println!(
+        "\nByzantine replica 6: {} diagnosis stage(s) ran, {} diagnosis-graph edge(s) removed",
+        report.diagnosis_invocations, report.edges_removed
+    );
+    println!("all fault-free replicas committed the identical block ✓");
+
+    let snap = metrics.snapshot();
+    let measured = snap.total_logical_bits() as f64;
+    let l_bits = (block_len * 8) as u64;
+    let linear = dsel::linear_coefficient(n, t) * l_bits as f64;
+    let bitwise = 2.0 * (n * n) as f64 * l_bits as f64;
+    println!("\nmeasured:            {measured:>14.0} bits");
+    println!("n(n-1)/(n-2t)·L:     {linear:>14.0} bits (the paper's L-linear term)");
+    println!("bitwise Ω(n²L) floor:{bitwise:>14.0} bits (what per-bit consensus would pay)");
+    println!("advantage vs bitwise: {:.1}x", bitwise / measured);
+    Ok(())
+}

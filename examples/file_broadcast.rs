@@ -1,0 +1,52 @@
+//! Multi-valued Byzantine broadcast (§4): a coordinator distributes a
+//! configuration file to a cluster, first honestly, then equivocating.
+//!
+//! ```sh
+//! cargo run -p mvbc-systests --example file_broadcast
+//! ```
+
+use mvbc_broadcast::attacks::EquivocatingSource;
+use mvbc_broadcast::{simulate_broadcast, BroadcastConfig, NoopBroadcastHooks};
+use mvbc_metrics::MetricsSink;
+use mvbc_systests::test_value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, t) = (7usize, 2usize);
+    let file_len = 8 * 1024;
+    let file = test_value(file_len, 0xF11E);
+
+    // Honest coordinator (processor 0).
+    let cfg = BroadcastConfig::new(n, t, 0, file_len)?;
+    let metrics = MetricsSink::new();
+    let hooks = (0..n).map(|_| NoopBroadcastHooks::boxed()).collect();
+    let run = simulate_broadcast(&cfg, file.clone(), hooks, metrics.clone());
+    for (id, out) in run.outputs.iter().enumerate() {
+        assert_eq!(*out, file, "processor {id}");
+    }
+    let total = metrics.snapshot().total_logical_bits() as f64;
+    let lower_bound = ((n - 1) * file_len * 8) as f64;
+    println!("honest coordinator: every processor received the {file_len}-byte file ✓");
+    println!(
+        "  cost: {:.0} bits = {:.2}x the (n-1)·L lower bound \
+         (companion TR achieves 1.5x; see DESIGN.md §2)",
+        total,
+        total / lower_bound
+    );
+
+    // Equivocating coordinator: sends different halves different symbols.
+    let mut hooks: Vec<Box<dyn mvbc_broadcast::BroadcastHooks>> =
+        (0..n).map(|_| NoopBroadcastHooks::boxed()).collect();
+    hooks[0] = Box::new(EquivocatingSource);
+    let run = simulate_broadcast(&cfg, file.clone(), hooks, MetricsSink::new());
+    let first = &run.outputs[1];
+    for id in 2..n {
+        assert_eq!(run.outputs[id], *first, "consistency violated at {id}");
+    }
+    println!("\nequivocating coordinator:");
+    println!(
+        "  diagnosis ran {} time(s); all fault-free processors still delivered a COMMON file ✓",
+        run.reports[1].diagnosis_invocations
+    );
+    println!("  (Byzantine broadcast guarantees consistency even against a faulty source.)");
+    Ok(())
+}

@@ -1,0 +1,212 @@
+//! The adversary matrix: every attack strategy at every position, plus
+//! mixed colluding teams up to the full `t` budget at `n = 13` — the
+//! broadest safety sweep in the suite. Every cell must preserve
+//! Consistency + Validity for fault-free processors, keep the diagnosis
+//! count within Theorem 1's bound, and never isolate a fault-free
+//! processor.
+
+use mvbc_adversary::{
+    BsbEquivocator, CorruptDiagnosisSymbol, CorruptSymbolTo, CrashAt, Deadline,
+    EquivocateSymbol, FalseDetect, KingLiar, LieMVector, LieTrust, RandomAdversary,
+    ShiftedInput, Silent, Sleeper, WorstCaseDiagnosis,
+};
+use mvbc_bsb::{BsbDriver, EigDriver};
+use mvbc_core::{simulate_consensus, simulate_consensus_with, ConsensusConfig, ProtocolHooks};
+use mvbc_metrics::MetricsSink;
+use mvbc_systests::{honest_hooks, test_value};
+
+/// All single-node strategies, constructed fresh per use.
+fn strategy(name: &str, n: usize) -> Box<dyn ProtocolHooks> {
+    match name {
+        "silent" => Box::new(Silent),
+        "crash_mid" => Box::new(CrashAt::new(2)),
+        "corrupt_low" => Box::new(CorruptSymbolTo::new(vec![0])),
+        "corrupt_high" => Box::new(CorruptSymbolTo::new(vec![n - 1])),
+        "equivocate" => Box::new(EquivocateSymbol),
+        "lie_m_true" => Box::new(LieMVector { claim: true }),
+        "lie_m_false" => Box::new(LieMVector { claim: false }),
+        "false_detect" => Box::new(FalseDetect),
+        "lie_trust" => Box::new(LieTrust::new(vec![])),
+        "corrupt_diag" => Box::new(CorruptDiagnosisSymbol),
+        "bsb_equivocate" => Box::new(BsbEquivocator),
+        "king_liar" => Box::new(KingLiar),
+        "shifted_input" => Box::new(ShiftedInput),
+        "random" => Box::new(RandomAdversary::new(0xA11CE, 0.35)),
+        "sleeper_corrupt" => Box::new(Sleeper::new(2, CorruptSymbolTo::new(vec![n - 1]))),
+        "sleeper_equivocate" => Box::new(Sleeper::new(1, EquivocateSymbol)),
+        "deadline_corrupt" => Box::new(Deadline::new(2, CorruptSymbolTo::new(vec![n - 1]))),
+        "deadline_random" => Box::new(Deadline::new(3, RandomAdversary::new(0xBEEF, 0.4))),
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+const ALL_STRATEGIES: &[&str] = &[
+    "silent",
+    "crash_mid",
+    "corrupt_low",
+    "corrupt_high",
+    "equivocate",
+    "lie_m_true",
+    "lie_m_false",
+    "false_detect",
+    "lie_trust",
+    "corrupt_diag",
+    "bsb_equivocate",
+    "king_liar",
+    "shifted_input",
+    "random",
+    "sleeper_corrupt",
+    "sleeper_equivocate",
+    "deadline_corrupt",
+    "deadline_random",
+];
+
+fn run_and_check(n: usize, t: usize, l: usize, d: usize, team: &[(usize, &str)]) {
+    let cfg = ConsensusConfig::with_gen_bytes(n, t, l, d).unwrap();
+    let v = test_value(l, 0xC0FFEE);
+    let mut hooks = honest_hooks(n);
+    let faulty: Vec<usize> = team.iter().map(|(id, _)| *id).collect();
+    assert!(faulty.len() <= t);
+    for &(id, name) in team {
+        hooks[id] = strategy(name, n);
+    }
+    let run = simulate_consensus(&cfg, vec![v.clone(); n], hooks, MetricsSink::new());
+    for id in 0..n {
+        if faulty.contains(&id) {
+            continue;
+        }
+        assert_eq!(run.outputs[id], v, "team {team:?}: node {id} broke validity");
+        let r = &run.reports[id];
+        assert!(
+            r.diagnosis_invocations <= (t * (t + 1)) as u64,
+            "team {team:?}: diagnosis bound exceeded"
+        );
+        for iso in &r.isolated {
+            assert!(faulty.contains(iso), "team {team:?}: honest {iso} isolated");
+        }
+    }
+}
+
+#[test]
+fn every_strategy_every_position_n4() {
+    for name in ALL_STRATEGIES {
+        for pos in 0..4 {
+            run_and_check(4, 1, 48, 12, &[(pos, name)]);
+        }
+    }
+}
+
+#[test]
+fn every_strategy_once_n7() {
+    for (i, name) in ALL_STRATEGIES.iter().enumerate() {
+        let pos = i % 7;
+        run_and_check(7, 2, 48, 16, &[(pos, name)]);
+    }
+}
+
+#[test]
+fn strategy_pairs_n7() {
+    // A quadratic-but-subsampled sweep of colluding pairs.
+    let pairs = [
+        ("corrupt_high", "false_detect"),
+        ("equivocate", "lie_m_true"),
+        ("silent", "random"),
+        ("corrupt_diag", "lie_trust"),
+        ("bsb_equivocate", "king_liar"),
+        ("lie_m_false", "corrupt_low"),
+        ("random", "random"),
+    ];
+    for (i, (a, b)) in pairs.into_iter().enumerate() {
+        let p1 = i % 7;
+        let p2 = (i + 3) % 7;
+        if p1 == p2 {
+            continue;
+        }
+        run_and_check(7, 2, 48, 16, &[(p1, a), (p2, b)]);
+    }
+}
+
+#[test]
+fn every_strategy_under_eig_substrate_n4() {
+    // The adversary matrix re-run under the EIG Broadcast_Single_Bit
+    // substrate: safety must be substrate-independent.
+    let (n, t, l, d) = (4usize, 1usize, 48usize, 12usize);
+    let cfg = ConsensusConfig::with_gen_bytes(n, t, l, d).unwrap();
+    for name in ALL_STRATEGIES {
+        let v = test_value(l, 0xE16);
+        let mut hooks = honest_hooks(n);
+        let pos = 1;
+        hooks[pos] = strategy(name, n);
+        let drivers: Vec<Box<dyn BsbDriver>> =
+            (0..n).map(|_| Box::new(EigDriver) as Box<dyn BsbDriver>).collect();
+        let run = simulate_consensus_with(&cfg, vec![v.clone(); n], hooks, drivers, MetricsSink::new());
+        for id in 0..n {
+            if id == pos {
+                continue;
+            }
+            assert_eq!(run.outputs[id], v, "{name} under EIG: node {id} broke validity");
+            assert!(run.reports[id].diagnosis_invocations <= (t * (t + 1)) as u64);
+            assert!(run.reports[id].isolated.iter().all(|&i| i == pos));
+        }
+    }
+}
+
+#[test]
+fn full_team_n13_t4_mixed() {
+    // The largest configuration: 13 processors, a full team of 4 mixed
+    // Byzantine strategies.
+    run_and_check(
+        13,
+        4,
+        64,
+        16,
+        &[
+            (2, "corrupt_high"),
+            (5, "false_detect"),
+            (8, "bsb_equivocate"),
+            (12, "random"),
+        ],
+    );
+}
+
+#[test]
+fn full_team_n13_t4_worst_case_plus_noise() {
+    let n = 13;
+    let t = 4;
+    let cfg = ConsensusConfig::with_gen_bytes(n, t, 128, 8).unwrap();
+    let v = test_value(128, 0xDEAD);
+    let mut hooks = honest_hooks(n);
+    let team: Vec<usize> = vec![0, 1, 2, 3];
+    for &f in &team {
+        hooks[f] = Box::new(WorstCaseDiagnosis::new(team.clone()));
+    }
+    let run = simulate_consensus(&cfg, vec![v.clone(); n], hooks, MetricsSink::new());
+    for id in 4..n {
+        assert_eq!(run.outputs[id], v);
+        assert!(run.reports[id].diagnosis_invocations <= (t * (t + 1)) as u64);
+    }
+}
+
+#[test]
+fn strategies_against_differing_honest_inputs() {
+    // Attacks while honest inputs already differ: the decision must be
+    // common and non-forged (an honest input or the default).
+    let n = 4;
+    let t = 1;
+    let cfg = ConsensusConfig::with_gen_bytes(n, t, 32, 8).unwrap();
+    for name in ["corrupt_high", "false_detect", "random", "lie_m_true"] {
+        let mut inputs: Vec<Vec<u8>> = (0..n).map(|i| test_value(32, i as u64 % 2)).collect();
+        inputs[3] = test_value(32, 9);
+        let mut hooks = honest_hooks(n);
+        hooks[3] = strategy(name, n);
+        let run = simulate_consensus(&cfg, inputs.clone(), hooks, MetricsSink::new());
+        for w in [0usize, 1, 2].windows(2) {
+            assert_eq!(run.outputs[w[0]], run.outputs[w[1]], "{name}: inconsistent");
+        }
+        let decided = &run.outputs[0];
+        assert!(
+            *decided == inputs[0] || *decided == inputs[1] || *decided == cfg.default_value(),
+            "{name}: forged decision"
+        );
+    }
+}

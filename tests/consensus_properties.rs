@@ -1,0 +1,143 @@
+//! Property-based tests of the consensus Termination / Consistency /
+//! Validity guarantees and the diagnosis-graph invariants (Lemma 4,
+//! Theorem 1), under randomized inputs and randomized Byzantine
+//! behaviour.
+
+use mvbc_adversary::RandomAdversary;
+use mvbc_core::{simulate_consensus, ConsensusConfig, ProtocolHooks};
+use mvbc_metrics::MetricsSink;
+use mvbc_systests::{honest_hooks, test_value};
+use proptest::prelude::*;
+
+fn check_safety(
+    n: usize,
+    t: usize,
+    inputs: Vec<Vec<u8>>,
+    faulty: Vec<usize>,
+    adversary_seed: u64,
+    aggressiveness: f64,
+    gen_bytes: usize,
+) -> Result<(), TestCaseError> {
+    let l = inputs[0].len();
+    let cfg = ConsensusConfig::with_gen_bytes(n, t, l, gen_bytes).unwrap();
+    let mut hooks = honest_hooks(n);
+    for (i, &f) in faulty.iter().enumerate() {
+        hooks[f] = Box::new(RandomAdversary::new(
+            adversary_seed.wrapping_add(i as u64 * 7919),
+            aggressiveness,
+        )) as Box<dyn ProtocolHooks>;
+    }
+    let run = simulate_consensus(&cfg, inputs.clone(), hooks, MetricsSink::new());
+
+    let honest: Vec<usize> = (0..n).filter(|i| !faulty.contains(i)).collect();
+    // Consistency.
+    for w in honest.windows(2) {
+        prop_assert_eq!(
+            &run.outputs[w[0]],
+            &run.outputs[w[1]],
+            "consistency violated between {} and {}",
+            w[0],
+            w[1]
+        );
+    }
+    // Validity: if all honest inputs are equal, that is the decision.
+    let first_honest = &inputs[honest[0]];
+    if honest.iter().all(|&h| &inputs[h] == first_honest) {
+        prop_assert_eq!(&run.outputs[honest[0]], first_honest, "validity violated");
+    } else {
+        // Decision must be one of the honest inputs or the default
+        // (no value forging).
+        let decided = &run.outputs[honest[0]];
+        let legal = honest.iter().any(|&h| &inputs[h] == decided)
+            || *decided == cfg.default_value();
+        prop_assert!(legal, "forged decision value");
+    }
+    // Theorem 1 bound + Lemma 4 safety.
+    for &h in &honest {
+        let r = &run.reports[h];
+        prop_assert!(r.diagnosis_invocations <= (t * (t + 1)) as u64);
+        for iso in &r.isolated {
+            prop_assert!(faulty.contains(iso), "fault-free processor isolated");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case runs a full multi-round simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn honest_unanimous_any_value(
+        seed in any::<u64>(),
+        l in 1usize..200,
+        gen in 1usize..64,
+    ) {
+        let v = test_value(l, seed);
+        check_safety(4, 1, vec![v; 4], vec![], 0, 0.0, gen)?;
+    }
+
+    #[test]
+    fn honest_arbitrary_inputs(
+        seeds in prop::collection::vec(any::<u64>(), 4),
+        l in 1usize..100,
+    ) {
+        let inputs: Vec<Vec<u8>> = seeds.iter().map(|&s| test_value(l, s)).collect();
+        check_safety(4, 1, inputs, vec![], 0, 0.0, 32)?;
+    }
+
+    #[test]
+    fn one_random_byzantine_n4(
+        seed in any::<u64>(),
+        faulty in 0usize..4,
+        aggr in 0.05f64..0.6,
+    ) {
+        let v = test_value(64, 42);
+        check_safety(4, 1, vec![v; 4], vec![faulty], seed, aggr, 16)?;
+    }
+
+    #[test]
+    fn two_random_byzantine_n7(
+        seed in any::<u64>(),
+        f1 in 0usize..7,
+        f2 in 0usize..7,
+        aggr in 0.05f64..0.4,
+    ) {
+        prop_assume!(f1 != f2);
+        let v = test_value(48, 7);
+        check_safety(7, 2, vec![v; 7], vec![f1, f2], seed, aggr, 16)?;
+    }
+
+    #[test]
+    fn byzantine_with_mixed_honest_inputs(
+        seed in any::<u64>(),
+        split in 1usize..4,
+    ) {
+        // Some honest processors hold a different value; adversary at 4.
+        let va = test_value(40, 1);
+        let vb = test_value(40, 2);
+        let mut inputs: Vec<Vec<u8>> = (0..7).map(|i| if i < split { vb.clone() } else { va.clone() }).collect();
+        inputs[4] = test_value(40, 3); // the faulty one's input is irrelevant
+        check_safety(7, 2, inputs, vec![4], seed, 0.3, 20)?;
+    }
+}
+
+#[test]
+fn aggressive_adversary_sweep() {
+    // Deterministic sweep of aggressiveness levels (outside proptest to
+    // pin the seeds).
+    for (i, aggr) in [0.1, 0.5, 0.9, 1.0].into_iter().enumerate() {
+        let v = test_value(48, 9);
+        check_safety(4, 1, vec![v; 4], vec![2], 1000 + i as u64, aggr, 12).unwrap();
+    }
+}
+
+#[test]
+fn all_positions_byzantine_once() {
+    for f in 0..4 {
+        let v = test_value(32, f as u64);
+        check_safety(4, 1, vec![v; 4], vec![f], 77, 0.4, 8).unwrap();
+    }
+}

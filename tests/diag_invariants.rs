@@ -1,0 +1,112 @@
+//! Property tests of the diagnosis-graph invariants (paper §2 / Lemma 4)
+//! under arbitrary *legal* update sequences — i.e. sequences in which
+//! every removed edge touches a faulty vertex, which Lemma 4 proves is
+//! the only kind the protocol ever produces.
+
+use mvbc_core::DiagGraph;
+use proptest::prelude::*;
+
+/// Applies a sequence of bad-edge removals (each touching a designated
+/// faulty vertex) interleaved with isolation enforcement.
+fn apply_legal_removals(
+    n: usize,
+    t: usize,
+    faulty: &[usize],
+    script: &[(usize, usize)],
+) -> DiagGraph {
+    let mut g = DiagGraph::new(n, t);
+    for &(f_idx, other) in script {
+        let f = faulty[f_idx % faulty.len()];
+        let o = other % n;
+        if o != f {
+            g.remove_edge(f, o);
+        }
+        g.enforce_isolation();
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn honest_vertices_never_isolated(
+        script in prop::collection::vec((any::<usize>(), any::<usize>()), 0..60),
+    ) {
+        // n = 7, t = 2, faulty = {5, 6}: under any legal removal script,
+        // honest vertices keep >= n - t - 1 honest neighbours and are
+        // never isolated (Lemma 4's consequences 2 and 3).
+        let (n, t) = (7usize, 2usize);
+        let faulty = [5usize, 6];
+        let g = apply_legal_removals(n, t, &faulty, &script);
+        for honest in 0..5usize {
+            prop_assert!(!g.is_isolated(honest), "honest {honest} isolated");
+            // All honest-honest edges intact.
+            for other in 0..5usize {
+                if honest != other {
+                    prop_assert!(g.trusts(honest, other));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_budget_bounds_removals(
+        script in prop::collection::vec((any::<usize>(), any::<usize>()), 0..100),
+    ) {
+        // Once both faulty vertices are isolated, the total number of
+        // distinct removed edges is bounded: each faulty vertex costs at
+        // most (n - 1) edges, and removals stop (the protocol never
+        // touches edges between honest vertices).
+        let (n, t) = (7usize, 2usize);
+        let faulty = [2usize, 4];
+        let g = apply_legal_removals(n, t, &faulty, &script);
+        prop_assert!(g.total_removed() <= 2 * (n - 1));
+        // Participants mask agrees with isolation flags.
+        let parts = g.participants();
+        for (v, &active) in parts.iter().enumerate() {
+            prop_assert_eq!(active, !g.is_isolated(v));
+        }
+    }
+
+    #[test]
+    fn isolation_is_monotone_and_threshold_driven(
+        removals in prop::collection::btree_set(0usize..6, 0..=6),
+    ) {
+        // Remove a chosen subset of vertex 6's edges (n = 7, t = 2):
+        // vertex 6 must be isolated iff more than t edges were removed.
+        let (n, t) = (7usize, 2usize);
+        let mut g = DiagGraph::new(n, t);
+        for &other in &removals {
+            g.remove_edge(6, other);
+        }
+        g.enforce_isolation();
+        prop_assert_eq!(g.is_isolated(6), removals.len() > t);
+        let _ = n;
+    }
+
+    #[test]
+    fn active_ids_sorted_and_consistent(
+        script in prop::collection::vec((any::<usize>(), any::<usize>()), 0..40),
+    ) {
+        let g = apply_legal_removals(10, 3, &[7, 8, 9], &script);
+        let ids = g.active_ids();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        for &v in &ids {
+            prop_assert!(!g.is_isolated(v));
+        }
+        prop_assert!(ids.len() >= 7, "honest vertices always active");
+    }
+}
+
+#[test]
+fn degree_accounting_exact() {
+    let mut g = DiagGraph::new(5, 1);
+    assert_eq!(g.degree(0), 4);
+    g.remove_edge(0, 1);
+    g.remove_edge(0, 2);
+    assert_eq!(g.degree(0), 2);
+    assert_eq!(g.removed_count(0), 2);
+    assert_eq!(g.removed_count(3), 0);
+    assert_eq!(g.total_removed(), 2);
+}

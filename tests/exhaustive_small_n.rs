@@ -1,0 +1,230 @@
+//! Bounded model-checking sweep: every canonical adversary strategy, at
+//! every faulty position, against the full consensus protocol.
+//!
+//! The scripted adversary (`mvbc_adversary::Strategy`) reduces the
+//! Byzantine content-choice space at each protocol decision point to a
+//! small set of canonical behaviours (see its module docs for the
+//! equivalence-class argument). This sweep executes the *entire* reduced
+//! space for `n = 4, t = 1` and asserts, on every branch:
+//!
+//! - **Termination** — the simulation completes;
+//! - **Consistency** — all fault-free processors decide identically;
+//! - **Validity** — when fault-free inputs are unanimous they decide
+//!   that value (Lemma 1 guarantees `P_match` exists, so the default
+//!   decision would be a violation);
+//! - **diagnosis-graph safety** — no fault-free processor is ever
+//!   isolated, and the diagnosis stage runs at most `t(t+1)` times
+//!   (Theorem 1).
+//!
+//! The default tests sweep the protocol-stage grid (972 strategies ×
+//! 4 faulty positions); the full grid including the BSB-equivocation and
+//! input axes (3 888 × 4 runs) is behind `--ignored` for scheduled runs.
+
+use mvbc_adversary::{ScriptedAdversary, Strategy};
+use mvbc_core::{simulate_consensus, ConsensusConfig, NoopHooks, ProtocolHooks};
+use mvbc_metrics::MetricsSink;
+
+const N: usize = 4;
+const T: usize = 1;
+
+/// One generation's worth of value: keeps each run to a single
+/// generation so the sweep exercises every stage without multiplying
+/// wall-clock time. Multi-generation behaviour (memory across
+/// generations) is swept separately below.
+const VALUE_BYTES: usize = 8;
+
+fn common_value() -> Vec<u8> {
+    (0..VALUE_BYTES).map(|i| (i as u8).wrapping_mul(37).wrapping_add(5)).collect()
+}
+
+/// Runs one branch and asserts all invariants; returns whether the
+/// diagnosis stage ran (for coverage accounting).
+fn check_branch(cfg: &ConsensusConfig, faulty: usize, strategy: &Strategy) -> bool {
+    let v = common_value();
+    let hooks: Vec<Box<dyn ProtocolHooks>> = (0..N)
+        .map(|i| {
+            if i == faulty {
+                Box::new(ScriptedAdversary::new(strategy.clone())) as Box<dyn ProtocolHooks>
+            } else {
+                NoopHooks::boxed()
+            }
+        })
+        .collect();
+    let run = simulate_consensus(cfg, vec![v.clone(); N], hooks, MetricsSink::new());
+
+    let honest: Vec<usize> = (0..N).filter(|&i| i != faulty).collect();
+    for &h in &honest {
+        // Validity (honest inputs unanimous).
+        assert_eq!(
+            run.outputs[h], v,
+            "faulty={faulty} strategy={strategy:?}: node {h} decided wrong value"
+        );
+        // Diagnosis-graph safety: no honest processor isolated, bound on
+        // diagnosis invocations.
+        let rep = &run.reports[h];
+        for &iso in &rep.isolated {
+            assert_eq!(
+                iso, faulty,
+                "faulty={faulty} strategy={strategy:?}: honest {iso} isolated"
+            );
+        }
+        assert!(
+            rep.diagnosis_invocations <= (T * (T + 1)) as u64,
+            "faulty={faulty} strategy={strategy:?}: diagnosis ran {} > t(t+1) times",
+            rep.diagnosis_invocations
+        );
+        assert!(!rep.defaulted, "faulty={faulty} strategy={strategy:?}: defaulted");
+    }
+    // Consistency (redundant given validity, kept for the divergent-input
+    // sweeps where validity is vacuous).
+    for w in honest.windows(2) {
+        assert_eq!(run.outputs[w[0]], run.outputs[w[1]]);
+    }
+    run.reports[honest[0]].diagnosis_invocations > 0
+}
+
+#[test]
+fn sweep_protocol_grid_all_faulty_positions() {
+    let cfg = ConsensusConfig::with_gen_bytes(N, T, VALUE_BYTES, VALUE_BYTES).unwrap();
+    let mut branches = 0u64;
+    let mut diagnosed = 0u64;
+    for faulty in 0..N {
+        for strategy in Strategy::protocol_grid(N, faulty) {
+            if check_branch(&cfg, faulty, &strategy) {
+                diagnosed += 1;
+            }
+            branches += 1;
+        }
+    }
+    assert_eq!(branches, 4 * 27 * 36);
+    // Coverage sanity: a substantial share of strategies must actually
+    // reach the diagnosis stage, otherwise the sweep is vacuous.
+    assert!(
+        diagnosed > branches / 10,
+        "only {diagnosed}/{branches} branches reached diagnosis"
+    );
+}
+
+#[test]
+#[ignore = "full grid (~16k runs); run with --ignored in scheduled sweeps"]
+fn sweep_full_grid_all_faulty_positions() {
+    let cfg = ConsensusConfig::with_gen_bytes(N, T, VALUE_BYTES, VALUE_BYTES).unwrap();
+    for faulty in 0..N {
+        for strategy in Strategy::grid(N, faulty) {
+            check_branch(&cfg, faulty, &strategy);
+        }
+    }
+}
+
+#[test]
+#[ignore = "n = 5 protocol grid (~15k runs); run with --ignored in scheduled sweeps"]
+fn sweep_protocol_grid_n5() {
+    // n = 5, t = 1: a non-tight network (n > 3t + 1) — the slack seat
+    // changes which P_match sets exist, so the sweep covers different
+    // protocol paths than n = 4.
+    let cfg = ConsensusConfig::with_gen_bytes(5, 1, 9, 9).unwrap();
+    let v: Vec<u8> = (0..9).map(|i| (i * 29 + 3) as u8).collect();
+    for faulty in 0..5usize {
+        for strategy in Strategy::protocol_grid(5, faulty) {
+            let hooks: Vec<Box<dyn ProtocolHooks>> = (0..5)
+                .map(|i| {
+                    if i == faulty {
+                        Box::new(ScriptedAdversary::new(strategy.clone()))
+                            as Box<dyn ProtocolHooks>
+                    } else {
+                        NoopHooks::boxed()
+                    }
+                })
+                .collect();
+            let run = simulate_consensus(&cfg, vec![v.clone(); 5], hooks, MetricsSink::new());
+            for i in 0..5 {
+                if i == faulty {
+                    continue;
+                }
+                assert_eq!(
+                    run.outputs[i], v,
+                    "faulty={faulty} strategy={strategy:?}: node {i} wrong"
+                );
+                assert!(run.reports[i].diagnosis_invocations <= 2);
+                assert!(run.reports[i].isolated.iter().all(|&x| x == faulty));
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_multi_generation_isolation() {
+    // Three generations with a persistently-corrupting strategy: after
+    // at most t(t+1) = 2 diagnoses the faulty processor must be isolated
+    // or silenced, and later generations must run diagnosis-free.
+    let cfg = ConsensusConfig::with_gen_bytes(N, T, 3 * VALUE_BYTES, VALUE_BYTES).unwrap();
+    let v: Vec<u8> = (0..3 * VALUE_BYTES).map(|i| i as u8).collect();
+    for faulty in 0..N {
+        // The canonical always-corrupt strategy.
+        let mut strategy = Strategy::honest(N);
+        for j in 0..N {
+            if j != faulty {
+                strategy.symbols[j] = mvbc_adversary::SymbolAction::Flip;
+            }
+        }
+        strategy.m_lie = mvbc_adversary::VectorLie::AllTrue;
+        let hooks: Vec<Box<dyn ProtocolHooks>> = (0..N)
+            .map(|i| {
+                if i == faulty {
+                    Box::new(ScriptedAdversary::new(strategy.clone())) as Box<dyn ProtocolHooks>
+                } else {
+                    NoopHooks::boxed()
+                }
+            })
+            .collect();
+        let run = simulate_consensus(&cfg, vec![v.clone(); N], hooks, MetricsSink::new());
+        for i in 0..N {
+            if i == faulty {
+                continue;
+            }
+            assert_eq!(run.outputs[i], v, "faulty={faulty}");
+            assert!(
+                run.reports[i].diagnosis_invocations <= (T * (T + 1)) as u64,
+                "faulty={faulty}: Theorem 1 bound violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_divergent_inputs_consistency() {
+    // Honest inputs differ: validity is vacuous but consistency and the
+    // default rule must hold under every M-stage lie (the sub-grid that
+    // can affect P_match discovery).
+    let cfg = ConsensusConfig::with_gen_bytes(N, T, VALUE_BYTES, VALUE_BYTES).unwrap();
+    for faulty in 0..N {
+        for strategy in Strategy::protocol_grid(N, faulty) {
+            // Only matching-stage axes matter here; skip pure
+            // diagnosis-stage variants to keep the sweep focused.
+            if strategy.corrupt_rsharp || strategy.false_detect {
+                continue;
+            }
+            let inputs: Vec<Vec<u8>> = (0..N)
+                .map(|i| (0..VALUE_BYTES).map(|b| (i * 16 + b) as u8).collect())
+                .collect();
+            let hooks: Vec<Box<dyn ProtocolHooks>> = (0..N)
+                .map(|i| {
+                    if i == faulty {
+                        Box::new(ScriptedAdversary::new(strategy.clone()))
+                            as Box<dyn ProtocolHooks>
+                    } else {
+                        NoopHooks::boxed()
+                    }
+                })
+                .collect();
+            let run = simulate_consensus(&cfg, inputs, hooks, MetricsSink::new());
+            let honest: Vec<usize> = (0..N).filter(|&i| i != faulty).collect();
+            for w in honest.windows(2) {
+                assert_eq!(
+                    run.outputs[w[0]], run.outputs[w[1]],
+                    "faulty={faulty} strategy={strategy:?}: consistency violated"
+                );
+            }
+        }
+    }
+}

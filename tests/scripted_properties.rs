@@ -1,0 +1,207 @@
+//! Property-based tests over the scripted-adversary strategy space and
+//! the BSB substrate matrix.
+//!
+//! The exhaustive sweep (`exhaustive_small_n.rs`) covers every canonical
+//! strategy at `n = 4` under the default substrate; these properties
+//! sample the same space *randomly* but extend it along the axes the
+//! sweep holds fixed: larger networks (`n = 7, t = 2`), random value
+//! sizes and contents, random sleeper activation points, and all three
+//! `Broadcast_Single_Bit` substrates.
+
+use mvbc_adversary::{ScriptedAdversary, Sleeper, Strategy, SymbolAction, VectorLie};
+use mvbc_bsb::{BsbDriver, DolevStrongDriver, EigDriver, PhaseKingDriver};
+use mvbc_core::{
+    simulate_consensus, simulate_consensus_with, ConsensusConfig, NoopHooks, ProtocolHooks,
+};
+use mvbc_metrics::MetricsSink;
+use proptest::prelude::*;
+
+fn symbol_action() -> impl proptest::strategy::Strategy<Value = SymbolAction> {
+    prop_oneof![
+        Just(SymbolAction::Honest),
+        Just(SymbolAction::Flip),
+        Just(SymbolAction::Drop),
+    ]
+}
+
+fn vector_lie() -> impl proptest::strategy::Strategy<Value = VectorLie> {
+    prop_oneof![
+        Just(VectorLie::Truthful),
+        Just(VectorLie::AllTrue),
+        Just(VectorLie::AllFalse),
+    ]
+}
+
+prop_compose! {
+    fn strategy(n: usize)(
+        symbols in proptest::collection::vec(symbol_action(), n),
+        m_lie in vector_lie(),
+        false_detect in any::<bool>(),
+        corrupt_rsharp in any::<bool>(),
+        trust_lie in vector_lie(),
+        bsb_equivocate in any::<bool>(),
+        input_flip in any::<bool>(),
+    ) -> Strategy {
+        Strategy {
+            symbols,
+            m_lie,
+            false_detect,
+            corrupt_rsharp,
+            trust_lie,
+            bsb_equivocate,
+            input_flip,
+        }
+    }
+}
+
+/// Asserts the paper's three properties plus the Theorem 1 bounds for a
+/// single-faulty-processor run with unanimous honest inputs.
+fn assert_invariants(
+    cfg: &ConsensusConfig,
+    faulty: usize,
+    v: &[u8],
+    run: &mvbc_core::ConsensusRun,
+    label: &str,
+) {
+    let honest: Vec<usize> = (0..cfg.n).filter(|&i| i != faulty).collect();
+    for &h in &honest {
+        assert_eq!(run.outputs[h], v, "{label}: node {h} violated validity");
+        let rep = &run.reports[h];
+        assert!(
+            rep.isolated.iter().all(|&i| i == faulty),
+            "{label}: honest processor isolated: {:?}",
+            rep.isolated
+        );
+        assert!(
+            rep.diagnosis_invocations <= (cfg.t * (cfg.t + 1)) as u64,
+            "{label}: diagnosis bound violated ({})",
+            rep.diagnosis_invocations
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// n = 7, t = 2: two independently-sampled scripted adversaries.
+    #[test]
+    fn n7_two_scripted_adversaries(
+        strat_a in strategy(7),
+        strat_b in strategy(7),
+        pair in proptest::sample::subsequence((0..7usize).collect::<Vec<_>>(), 2),
+        value_bytes in 5usize..60,
+        seed in any::<u8>(),
+    ) {
+        let (fa, fb) = (pair[0], pair[1]);
+        let cfg = ConsensusConfig::new(7, 2, value_bytes).unwrap();
+        let v: Vec<u8> = (0..value_bytes).map(|i| seed.wrapping_add(i as u8)).collect();
+        let hooks: Vec<Box<dyn ProtocolHooks>> = (0..7)
+            .map(|i| {
+                if i == fa {
+                    Box::new(ScriptedAdversary::new(strat_a.clone())) as Box<dyn ProtocolHooks>
+                } else if i == fb {
+                    Box::new(ScriptedAdversary::new(strat_b.clone())) as Box<dyn ProtocolHooks>
+                } else {
+                    NoopHooks::boxed()
+                }
+            })
+            .collect();
+        let run = simulate_consensus(&cfg, vec![v.clone(); 7], hooks, MetricsSink::new());
+        let honest: Vec<usize> = (0..7).filter(|&i| i != fa && i != fb).collect();
+        for &h in &honest {
+            prop_assert_eq!(&run.outputs[h], &v, "node {} violated validity", h);
+            prop_assert!(
+                run.reports[h].isolated.iter().all(|&i| i == fa || i == fb),
+                "honest isolated: {:?}", run.reports[h].isolated
+            );
+            prop_assert!(run.reports[h].diagnosis_invocations <= 6); // t(t+1)
+        }
+    }
+
+    /// Random sleeper activation: a strategy that wakes mid-run obeys the
+    /// same global bounds as one active from the start.
+    #[test]
+    fn sleeper_activation_preserves_invariants(
+        strat in strategy(4),
+        start in 0usize..6,
+        faulty in 0usize..4,
+    ) {
+        let cfg = ConsensusConfig::with_gen_bytes(4, 1, 40, 8).unwrap(); // 5 generations
+        let v: Vec<u8> = (0..40).map(|i| (i * 3) as u8).collect();
+        let hooks: Vec<Box<dyn ProtocolHooks>> = (0..4)
+            .map(|i| {
+                if i == faulty {
+                    Box::new(Sleeper::new(start, ScriptedAdversary::new(strat.clone())))
+                        as Box<dyn ProtocolHooks>
+                } else {
+                    NoopHooks::boxed()
+                }
+            })
+            .collect();
+        let run = simulate_consensus(&cfg, vec![v.clone(); 4], hooks, MetricsSink::new());
+        assert_invariants(&cfg, faulty, &v, &run, "sleeper");
+    }
+
+    /// The substrate matrix under a random strategy: all three substrates
+    /// must deliver the identical (correct) decision.
+    #[test]
+    fn substrate_matrix_agrees(
+        strat in strategy(4),
+        faulty in 0usize..4,
+        value_bytes in 4usize..40,
+    ) {
+        let cfg = ConsensusConfig::new(4, 1, value_bytes).unwrap();
+        let v: Vec<u8> = (0..value_bytes).map(|i| (i * 11 + 2) as u8).collect();
+        for (name, drivers) in [
+            ("phase-king", (0..4).map(|_| Box::new(PhaseKingDriver) as Box<dyn BsbDriver>).collect::<Vec<_>>()),
+            ("eig", (0..4).map(|_| Box::new(EigDriver) as Box<dyn BsbDriver>).collect::<Vec<_>>()),
+            ("dolev-strong", DolevStrongDriver::fleet(4).into_iter().map(|d| Box::new(d) as Box<dyn BsbDriver>).collect::<Vec<_>>()),
+        ] {
+            let hooks: Vec<Box<dyn ProtocolHooks>> = (0..4)
+                .map(|i| {
+                    if i == faulty {
+                        Box::new(ScriptedAdversary::new(strat.clone())) as Box<dyn ProtocolHooks>
+                    } else {
+                        NoopHooks::boxed()
+                    }
+                })
+                .collect();
+            let run = simulate_consensus_with(&cfg, vec![v.clone(); 4], hooks, drivers, MetricsSink::new());
+            assert_invariants(&cfg, faulty, &v, &run, name);
+        }
+    }
+
+    /// Divergent honest inputs: consistency must hold for any strategy
+    /// (validity is vacuous); honest processors are never isolated.
+    #[test]
+    fn divergent_inputs_stay_consistent(
+        strat in strategy(4),
+        faulty in 0usize..4,
+        seeds in proptest::array::uniform4(any::<u8>()),
+    ) {
+        let cfg = ConsensusConfig::with_gen_bytes(4, 1, 16, 16).unwrap();
+        let inputs: Vec<Vec<u8>> = (0..4)
+            .map(|i| (0..16).map(|b| seeds[i].wrapping_mul(7).wrapping_add(b as u8)).collect())
+            .collect();
+        let hooks: Vec<Box<dyn ProtocolHooks>> = (0..4)
+            .map(|i| {
+                if i == faulty {
+                    Box::new(ScriptedAdversary::new(strat.clone())) as Box<dyn ProtocolHooks>
+                } else {
+                    NoopHooks::boxed()
+                }
+            })
+            .collect();
+        let run = simulate_consensus(&cfg, inputs, hooks, MetricsSink::new());
+        let honest: Vec<usize> = (0..4).filter(|&i| i != faulty).collect();
+        for w in honest.windows(2) {
+            prop_assert_eq!(&run.outputs[w[0]], &run.outputs[w[1]], "consistency violated");
+        }
+        for &h in &honest {
+            prop_assert!(run.reports[h].isolated.iter().all(|&i| i == faulty));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Stress tests: larger networks, full Byzantine budgets, long
+//! multi-generation runs. The fast subset runs in the default suite;
+//! the heavyweight configurations are `#[ignore]`d for scheduled runs
+//! (`cargo test -p mvbc-systests --test stress -- --ignored`).
+
+use mvbc_adversary::{
+    CorruptSymbolTo, FalseDetect, RandomAdversary, Silent, Sleeper, WorstCaseDiagnosis,
+};
+use mvbc_core::{simulate_consensus, ConsensusConfig, NoopHooks, ProtocolHooks};
+use mvbc_metrics::MetricsSink;
+
+fn value(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 24) as u8
+        })
+        .collect()
+}
+
+fn check(cfg: &ConsensusConfig, hooks: Vec<Box<dyn ProtocolHooks>>, faulty: &[usize], seed: u64) {
+    let v = value(cfg.value_bytes, seed);
+    let run = simulate_consensus(cfg, vec![v.clone(); cfg.n], hooks, MetricsSink::new());
+    for id in 0..cfg.n {
+        if faulty.contains(&id) {
+            continue;
+        }
+        assert_eq!(run.outputs[id], v, "node {id} violated validity");
+        let rep = &run.reports[id];
+        assert!(rep.diagnosis_invocations <= (cfg.t * (cfg.t + 1)) as u64);
+        assert!(rep.isolated.iter().all(|i| faulty.contains(i)), "honest isolated");
+    }
+}
+
+#[test]
+fn n10_t3_full_team_mixed() {
+    let cfg = ConsensusConfig::with_gen_bytes(10, 3, 96, 16).unwrap();
+    let mut hooks: Vec<Box<dyn ProtocolHooks>> = (0..10).map(|_| NoopHooks::boxed()).collect();
+    hooks[1] = Box::new(CorruptSymbolTo::new(vec![9]));
+    hooks[4] = Box::new(FalseDetect);
+    hooks[7] = Box::new(Silent);
+    check(&cfg, hooks, &[1, 4, 7], 0xAB);
+}
+
+#[test]
+fn n13_t4_worst_case_team_long_run() {
+    // 16 generations against the orchestrated worst-case colluders: the
+    // t(t+1) = 20 budget must hold and the tail generations must run
+    // attack-free after isolation.
+    let cfg = ConsensusConfig::with_gen_bytes(13, 4, 16 * 10, 10).unwrap();
+    let team: Vec<usize> = vec![0, 1, 2, 3];
+    let mut hooks: Vec<Box<dyn ProtocolHooks>> = (0..13).map(|_| NoopHooks::boxed()).collect();
+    for &f in &team {
+        hooks[f] = Box::new(WorstCaseDiagnosis::new(team.clone()));
+    }
+    check(&cfg, hooks, &team, 0xCD);
+}
+
+#[test]
+fn n7_t2_staggered_sleepers() {
+    // Two sleepers waking at different generations: the combined budget
+    // across both takeovers is still t(t+1).
+    let cfg = ConsensusConfig::with_gen_bytes(7, 2, 10 * 15, 15).unwrap();
+    let mut hooks: Vec<Box<dyn ProtocolHooks>> = (0..7).map(|_| NoopHooks::boxed()).collect();
+    hooks[2] = Box::new(Sleeper::new(2, CorruptSymbolTo::new(vec![6])));
+    hooks[5] = Box::new(Sleeper::new(5, CorruptSymbolTo::new(vec![0])));
+    check(&cfg, hooks, &[2, 5], 0xEF);
+}
+
+#[test]
+fn n7_t2_randomized_pair_many_seeds() {
+    for seed in 0..8u64 {
+        let cfg = ConsensusConfig::with_gen_bytes(7, 2, 60, 15).unwrap();
+        let mut hooks: Vec<Box<dyn ProtocolHooks>> =
+            (0..7).map(|_| NoopHooks::boxed()).collect();
+        hooks[0] = Box::new(RandomAdversary::new(seed, 0.4));
+        hooks[3] = Box::new(RandomAdversary::new(seed ^ 0xFFFF, 0.4));
+        check(&cfg, hooks, &[0, 3], seed);
+    }
+}
+
+#[test]
+#[ignore = "heavyweight: n = 19, t = 6 worst-case colluders (~minutes)"]
+fn n19_t6_worst_case_team() {
+    let cfg = ConsensusConfig::with_gen_bytes(19, 6, 44 * 14, 14).unwrap();
+    let team: Vec<usize> = (0..6).collect();
+    let mut hooks: Vec<Box<dyn ProtocolHooks>> = (0..19).map(|_| NoopHooks::boxed()).collect();
+    for &f in &team {
+        hooks[f] = Box::new(WorstCaseDiagnosis::new(team.clone()));
+    }
+    check(&cfg, hooks, &team, 0x19);
+}
+
+#[test]
+#[ignore = "heavyweight: 1 MiB value end-to-end"]
+fn one_mebibyte_value() {
+    let l = 1 << 20;
+    let cfg = ConsensusConfig::new(4, 1, l).unwrap();
+    let mut hooks: Vec<Box<dyn ProtocolHooks>> = (0..4).map(|_| NoopHooks::boxed()).collect();
+    hooks[2] = Box::new(CorruptSymbolTo::for_first_generations(vec![3], 4));
+    check(&cfg, hooks, &[2], 0x1AB);
+}

@@ -1,0 +1,233 @@
+//! Integration tests for the `Broadcast_Single_Bit` substitution seam
+//! (paper §4): the full multi-valued consensus protocol must satisfy
+//! Termination / Consistency / Validity under every [`BsbDriver`]
+//! substrate, honest or attacked, and all substrates must decide the
+//! *same* values (they are interchangeable black boxes of cost `B`).
+
+use mvbc_adversary::{CorruptSymbolTo, FalseDetect, LieMVector, ShiftedInput};
+use mvbc_bsb::{BsbDriver, DolevStrongDriver, EigDriver, PhaseKingDriver};
+use mvbc_core::{
+    simulate_consensus_with, ConsensusConfig, ConsensusRun, NoopHooks, ProtocolHooks,
+};
+use mvbc_metrics::MetricsSink;
+
+/// The three substrate fleets for an `n`-processor network.
+fn fleets(n: usize) -> Vec<(&'static str, Vec<Box<dyn BsbDriver>>)> {
+    vec![
+        (
+            "phase-king",
+            (0..n).map(|_| Box::new(PhaseKingDriver) as Box<dyn BsbDriver>).collect(),
+        ),
+        (
+            "eig",
+            (0..n).map(|_| Box::new(EigDriver) as Box<dyn BsbDriver>).collect(),
+        ),
+        (
+            "dolev-strong",
+            DolevStrongDriver::fleet(n)
+                .into_iter()
+                .map(|d| Box::new(d) as Box<dyn BsbDriver>)
+                .collect(),
+        ),
+    ]
+}
+
+fn run_with(
+    cfg: &ConsensusConfig,
+    inputs: Vec<Vec<u8>>,
+    hooks: Vec<Box<dyn ProtocolHooks>>,
+    drivers: Vec<Box<dyn BsbDriver>>,
+) -> ConsensusRun {
+    simulate_consensus_with(cfg, inputs, hooks, drivers, MetricsSink::new())
+}
+
+fn value(seed: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| seed.wrapping_add(i as u8).wrapping_mul(31)).collect()
+}
+
+#[test]
+fn honest_unanimous_all_substrates() {
+    let cfg = ConsensusConfig::new(4, 1, 96).unwrap();
+    let v = value(3, 96);
+    for (name, drivers) in fleets(4) {
+        let hooks = (0..4).map(|_| NoopHooks::boxed()).collect();
+        let run = run_with(&cfg, vec![v.clone(); 4], hooks, drivers);
+        for (i, out) in run.outputs.iter().enumerate() {
+            assert_eq!(out, &v, "{name}: node {i} violated validity");
+        }
+    }
+}
+
+#[test]
+fn honest_divergent_inputs_default_consistently() {
+    // Fault-free inputs differ: line 1(f) must fire identically under
+    // every substrate (default decision everywhere).
+    let cfg = ConsensusConfig::new(4, 1, 64).unwrap();
+    for (name, drivers) in fleets(4) {
+        let inputs: Vec<Vec<u8>> = (0..4).map(|i| value(i as u8, 64)).collect();
+        let hooks = (0..4).map(|_| NoopHooks::boxed()).collect();
+        let run = run_with(&cfg, inputs, hooks, drivers);
+        for rep in &run.reports {
+            assert!(rep.defaulted, "{name}: expected the default decision");
+        }
+        assert_eq!(run.outputs[0], cfg.default_value(), "{name}");
+        assert!(
+            run.outputs.windows(2).all(|w| w[0] == w[1]),
+            "{name}: consistency violated"
+        );
+    }
+}
+
+#[test]
+fn corrupt_symbol_attack_all_substrates() {
+    // A Byzantine symbol corruption forces the diagnosis stage; honest
+    // processors must still decide the common value, under every
+    // substrate.
+    let cfg = ConsensusConfig::new(4, 1, 64).unwrap();
+    let v = value(7, 64);
+    for (name, drivers) in fleets(4) {
+        let hooks: Vec<Box<dyn ProtocolHooks>> = vec![
+            Box::new(CorruptSymbolTo::new(vec![3])),
+            NoopHooks::boxed(),
+            NoopHooks::boxed(),
+            NoopHooks::boxed(),
+        ];
+        let run = run_with(&cfg, vec![v.clone(); 4], hooks, drivers);
+        for honest in 1..4 {
+            assert_eq!(run.outputs[honest], v, "{name}: node {honest}");
+        }
+        assert!(
+            run.reports[1].diagnosis_invocations >= 1,
+            "{name}: attack should have triggered diagnosis"
+        );
+    }
+}
+
+#[test]
+fn false_detect_attack_all_substrates() {
+    let cfg = ConsensusConfig::new(4, 1, 48).unwrap();
+    let v = value(11, 48);
+    for (name, drivers) in fleets(4) {
+        let hooks: Vec<Box<dyn ProtocolHooks>> = vec![
+            NoopHooks::boxed(),
+            Box::new(FalseDetect),
+            NoopHooks::boxed(),
+            NoopHooks::boxed(),
+        ];
+        let run = run_with(&cfg, vec![v.clone(); 4], hooks, drivers);
+        for honest in [0usize, 2, 3] {
+            assert_eq!(run.outputs[honest], v, "{name}: node {honest}");
+        }
+    }
+}
+
+#[test]
+fn lie_m_vector_attack_all_substrates() {
+    let cfg = ConsensusConfig::new(7, 2, 70).unwrap();
+    let v = value(13, 70);
+    for (name, drivers) in fleets(7) {
+        let mut hooks: Vec<Box<dyn ProtocolHooks>> =
+            (0..7).map(|_| NoopHooks::boxed()).collect();
+        hooks[2] = Box::new(LieMVector { claim: true });
+        hooks[5] = Box::new(ShiftedInput);
+        let run = run_with(&cfg, vec![v.clone(); 7], hooks, drivers);
+        for honest in [0usize, 1, 3, 4, 6] {
+            assert_eq!(run.outputs[honest], v, "{name}: node {honest}");
+        }
+    }
+}
+
+#[test]
+fn substrates_decide_identical_values_multi_generation() {
+    // Several generations with one shifted-input faulty processor: the
+    // decided value must be byte-identical across substrates.
+    let cfg = ConsensusConfig::with_gen_bytes(4, 1, 60, 12).unwrap();
+    let v = value(29, 60);
+    let mut decisions: Vec<Vec<u8>> = Vec::new();
+    for (_name, drivers) in fleets(4) {
+        let mut hooks: Vec<Box<dyn ProtocolHooks>> =
+            (0..4).map(|_| NoopHooks::boxed()).collect();
+        hooks[3] = Box::new(ShiftedInput);
+        let run = run_with(&cfg, vec![v.clone(); 4], hooks, drivers);
+        decisions.push(run.outputs[0].clone());
+        assert!(run.outputs[..3].windows(2).all(|w| w[0] == w[1]));
+    }
+    assert!(
+        decisions.windows(2).all(|w| w[0] == w[1]),
+        "substrates disagreed: {decisions:?}"
+    );
+}
+
+#[test]
+fn round_profiles_differ_but_results_agree() {
+    // EIG takes fewer rounds than Phase-King; Dolev-Strong fewer still.
+    // (This pins the cost-profile claim in the driver docs.)
+    let cfg = ConsensusConfig::new(4, 1, 32).unwrap();
+    let v = value(17, 32);
+    let mut rounds = Vec::new();
+    for (_name, drivers) in fleets(4) {
+        let hooks = (0..4).map(|_| NoopHooks::boxed()).collect();
+        let run = run_with(&cfg, vec![v.clone(); 4], hooks, drivers);
+        assert_eq!(run.outputs[0], v);
+        rounds.push(run.rounds);
+    }
+    let (king, eig, ds) = (rounds[0], rounds[1], rounds[2]);
+    assert!(eig < king, "EIG should need fewer rounds: {eig} vs {king}");
+    assert!(ds <= eig, "Dolev-Strong should need the fewest rounds: {ds} vs {eig}");
+}
+
+#[test]
+fn broadcast_honest_all_substrates() {
+    // The §4 broadcast extension is also substrate-parameterised.
+    use mvbc_broadcast::{simulate_broadcast_with, BroadcastConfig, NoopBroadcastHooks};
+    let cfg = BroadcastConfig::new(4, 1, 0, 96).unwrap();
+    let v = value(31, 96);
+    for (name, drivers) in fleets(4) {
+        let hooks = (0..4).map(|_| NoopBroadcastHooks::boxed()).collect();
+        let run = simulate_broadcast_with(&cfg, v.clone(), hooks, drivers, MetricsSink::new());
+        for (i, out) in run.outputs.iter().enumerate() {
+            assert_eq!(out, &v, "{name}: node {i} delivered wrong value");
+        }
+    }
+}
+
+#[test]
+fn broadcast_equivocating_source_all_substrates() {
+    use mvbc_broadcast::attacks::EquivocatingSource;
+    use mvbc_broadcast::{simulate_broadcast_with, BroadcastConfig, BroadcastHooks, NoopBroadcastHooks};
+    let cfg = BroadcastConfig::new(4, 1, 1, 64).unwrap();
+    let v = value(37, 64);
+    for (name, drivers) in fleets(4) {
+        let mut hooks: Vec<Box<dyn BroadcastHooks>> =
+            (0..4).map(|_| NoopBroadcastHooks::boxed()).collect();
+        hooks[1] = Box::new(EquivocatingSource);
+        let run = simulate_broadcast_with(&cfg, v.clone(), hooks, drivers, MetricsSink::new());
+        let honest = [0usize, 2, 3];
+        for w in honest.windows(2) {
+            assert_eq!(
+                run.outputs[w[0]], run.outputs[w[1]],
+                "{name}: broadcast agreement violated under equivocation"
+            );
+        }
+    }
+}
+
+#[test]
+fn dolev_strong_substitution_cost_is_measured() {
+    // The §4 substitution changes only the B-priced control traffic; the
+    // symbol traffic (the L-linear term) is substrate-independent.
+    let cfg = ConsensusConfig::new(4, 1, 256).unwrap();
+    let v = value(23, 256);
+    let mut totals = Vec::new();
+    for (_name, drivers) in fleets(4) {
+        let metrics = MetricsSink::new();
+        let hooks = (0..4).map(|_| NoopHooks::boxed()).collect();
+        let run = simulate_consensus_with(&cfg, vec![v.clone(); 4], hooks, drivers, metrics.clone());
+        assert_eq!(run.outputs[0], v);
+        let snap = metrics.snapshot();
+        totals.push(snap.total_logical_bits());
+    }
+    // All totals include the identical symbol traffic, so every pair is
+    // within the control-traffic delta — and none is zero.
+    assert!(totals.iter().all(|&b| b > 0));
+}
