@@ -41,24 +41,10 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use parking_lot_like::Mutex;
+use parking_lot::Mutex;
 
 use crate::BsbConfig;
 use mvbc_netsim::{NodeCtx, NodeId};
-
-/// Minimal stand-in for `parking_lot` to avoid adding a dependency to
-/// this crate for one mutex: uses `std::sync::Mutex` with poisoning
-/// ignored (the oracle's operations cannot panic while locked).
-mod parking_lot_like {
-    #[derive(Debug, Default)]
-    pub struct Mutex<T>(std::sync::Mutex<T>);
-
-    impl<T> Mutex<T> {
-        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            self.0.lock().unwrap_or_else(|p| p.into_inner())
-        }
-    }
-}
 
 /// The oracle's ledger of (signer, message) pairs.
 type SignedSet = HashSet<(NodeId, Vec<u8>)>;

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API slice the workspace's benches use — groups,
+//! parameterized benchmark ids, throughput annotation, and
+//! `Bencher::iter` — backed by a plain wall-clock harness: each
+//! benchmark is warmed up briefly, then timed over enough iterations to
+//! fill a fixed measurement window, and the mean ns/iter (plus derived
+//! throughput) is printed. No statistics, plots, or saved baselines;
+//! `cargo bench` output is a readable table and nothing else.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver (one per `criterion_group!` function).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self {
+        run_one(&id.into().label, None, &mut f);
+        self
+    }
+}
+
+/// Label of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter rendering, e.g. `encode/4096`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Only a parameter rendering (the group name carries the function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Units processed per iteration, for derived rates in the output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the harness sizes its
+    /// measurement window by time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility (no-op).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in the printed rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input value passed through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark; this is a no-op
+    /// kept for criterion compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handle that times the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it to fill the measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: discover an iteration count that fills the window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / warm_iters as f64;
+        let target = ((MEASURE.as_secs_f64() / per_iter) as u64).max(1);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = target;
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let ns_per_iter = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let mut line = format!("{label:<48} {ns_per_iter:>14.1} ns/iter");
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mb_s = bytes as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+            let _ = write!(line, " {mb_s:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(elems)) => {
+            let elem_s = elems as f64 / ns_per_iter * 1e9;
+            let _ = write!(line, " {elem_s:>10.0} elem/s");
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut group = Criterion::default();
+        let mut group = group.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("enc", 4096).label, "enc/4096");
+        assert_eq!(BenchmarkId::from_parameter("n7_k3").label, "n7_k3");
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync::Mutex` behind the two API differences the
+//! workspace relies on: `lock()` returns the guard directly (poisoning is
+//! absorbed — a poisoned std lock still yields its inner data, matching
+//! parking_lot's no-poisoning model), and the constructor is `const` so
+//! locks can back `static` items such as the metrics tag interner.
+//! Only `Mutex` is provided — nothing in-tree uses `RwLock` or the
+//! non-blocking accessors; grow the shim if a call site appears.
+
+#![forbid(unsafe_code)]
+
+use std::sync;
+
+/// A mutual-exclusion lock without poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a lock around `value` (usable in `const`/`static` context).
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static STATIC_LOCK: Mutex<Option<u32>> = Mutex::new(None);
+
+    #[test]
+    fn static_mutex_works() {
+        let mut g = STATIC_LOCK.lock();
+        *g.get_or_insert(41) += 1;
+        assert_eq!(*g, Some(42));
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace's metric types derive `Serialize`/`Deserialize` so that
+//! downstream users *can* wire real serde in, but nothing in-tree
+//! serializes through serde (snapshots export via CSV/markdown). The
+//! traits are therefore markers with no required methods, and the derives
+//! (re-exported from the sibling `serde_derive` shim) emit bare impls.
+//! Swapping in real serde later only requires replacing these two shim
+//! crates — call sites are source-compatible.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de> {}
+
+/// Marker mirroring serde's owned-deserialization convenience trait.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,49 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on metric types but
+//! never serializes them through serde (exports go through hand-written
+//! CSV/markdown renderers), so the derives expand to marker-trait impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the first `struct`/`enum` keyword.
+///
+/// Good enough for the non-generic types this workspace derives on; a
+/// generic type would need real parsing and fails loudly instead.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ref ident) = tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "serde shim derive does not support generic type `{name}`"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("serde shim derive: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum keyword in input");
+}
+
+/// No-op `Serialize` derive: emits only the marker-trait impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// No-op `Deserialize` derive: emits only the marker-trait impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}

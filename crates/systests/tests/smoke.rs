@@ -1,0 +1,61 @@
+//! Happy-path smoke test: the quickstart flow (n = 4, t = 1) must
+//! decide a 1 KiB value with consistency and validity.
+//!
+//! The big property suites (`tests/*.rs` at the workspace root) explore
+//! the input and adversary space broadly; this test guards the single
+//! most basic configuration on its own, so a regression in the
+//! fault-free path is reported as exactly one obvious failure instead
+//! of a wall of property-case noise.
+
+use mvbc_core::{simulate_consensus, ConsensusConfig};
+use mvbc_metrics::MetricsSink;
+use mvbc_systests::{honest_hooks, test_value};
+
+#[test]
+fn quickstart_n4_t1_1kib_decides() {
+    let value_bytes = 1024;
+    let cfg = ConsensusConfig::new(4, 1, value_bytes).expect("n = 4, t = 1 is a valid config");
+    let value = test_value(value_bytes, 2011);
+
+    let metrics = MetricsSink::new();
+    let run = simulate_consensus(
+        &cfg,
+        vec![value.clone(); 4],
+        honest_hooks(4),
+        metrics.clone(),
+    );
+
+    // Validity: unanimous honest inputs force that exact decision...
+    for (id, out) in run.outputs.iter().enumerate() {
+        assert_eq!(out, &value, "processor {id} violated validity");
+    }
+    // ...which also implies consistency; check it independently anyway
+    // so a validity-check edit can't silently drop the agreement check.
+    for pair in run.outputs.windows(2) {
+        assert_eq!(pair[0], pair[1], "processors disagreed");
+    }
+
+    // Fault-free runs must not isolate anyone or invoke diagnosis.
+    for (id, report) in run.reports.iter().enumerate() {
+        assert!(
+            report.isolated.is_empty(),
+            "processor {id} isolated someone in a fault-free run: {:?}",
+            report.isolated
+        );
+        assert_eq!(
+            report.diagnosis_invocations, 0,
+            "processor {id} ran diagnosis in a fault-free run"
+        );
+    }
+
+    // The run actually exchanged messages and terminated in bounded
+    // rounds (a degenerate zero-communication "success" is a bug).
+    let snap = metrics.snapshot();
+    assert!(snap.total_logical_bits() > 0, "no communication recorded");
+    assert!(snap.rounds() > 0, "no rounds recorded");
+    assert!(
+        snap.rounds() < 10_000,
+        "fault-free run took implausibly many rounds: {}",
+        snap.rounds()
+    );
+}
