@@ -24,6 +24,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_messages",
     "exp_attack_rate",
     "exp_kappa",
+    "exp_smr_throughput",
 ];
 
 fn main() {

@@ -6,8 +6,12 @@ use mvbc_netsim::NodeCtx;
 use mvbc_rscode::StripedCode;
 
 use crate::config::BroadcastConfig;
-use crate::generation::{run_broadcast_generation, BroadcastGenerationOutcome};
+use crate::generation::{run_broadcast_generation, BroadcastGenerationOutcome, SlotTags};
 use crate::hooks::BroadcastHooks;
+
+/// Tag scope of a stand-alone broadcast execution (see
+/// [`run_broadcast_slot`] for scoped executions).
+const STANDALONE_SCOPE: &str = "broadcast";
 
 /// Per-node summary of one broadcast execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +63,42 @@ pub fn run_broadcast_with(
     hooks: &mut dyn BroadcastHooks,
     bsb: &mut dyn BsbDriver,
 ) -> BroadcastReport {
+    let mut diag = DiagGraph::new(cfg.n, cfg.t);
+    run_broadcast_slot(ctx, cfg, input, STANDALONE_SCOPE, &mut diag, hooks, bsb)
+}
+
+/// Runs one broadcast execution *mid-simulation*, against caller-owned
+/// diagnosis state and a caller-chosen tag scope.
+///
+/// This is the re-entrant core of [`run_broadcast_with`], the seam that
+/// lets a slot-indexed protocol (the `mvbc-smr` replicated log) run many
+/// consecutive broadcasts inside one simulation:
+///
+/// - `diag` persists across calls, so dispute-control memory carries over
+///   from slot to slot — a processor caught equivocating in one slot has
+///   already burnt edges (or is isolated) when the next slot starts. All
+///   fault-free callers must pass identical graphs (they stay identical
+///   because every update is driven by `Broadcast_Single_Bit` outputs).
+/// - `scope` prefixes every message tag and `Broadcast_Single_Bit`
+///   session of this execution (e.g. `"smr.slot17"`), so messages from
+///   adjacent slots cannot cross-deliver.
+///
+/// The returned report's `isolated` / `edges_removed` fields describe the
+/// *cumulative* state of `diag`, not just this call's changes; callers
+/// interested in per-slot changes should diff the graph around the call.
+///
+/// # Panics
+///
+/// As [`run_broadcast`]; additionally `diag` must have `cfg.n` vertices.
+pub fn run_broadcast_slot(
+    ctx: &mut NodeCtx,
+    cfg: &BroadcastConfig,
+    input: Option<&[u8]>,
+    scope: &str,
+    diag: &mut DiagGraph,
+    hooks: &mut dyn BroadcastHooks,
+    bsb: &mut dyn BsbDriver,
+) -> BroadcastReport {
     assert_eq!(
         input.is_some(),
         ctx.id() == cfg.source,
@@ -67,10 +107,11 @@ pub fn run_broadcast_with(
     if let Some(v) = input {
         assert_eq!(v.len(), cfg.value_bytes, "value must be L bytes");
     }
+    assert_eq!(diag.n(), cfg.n, "diagnosis graph size must match n");
     let d = cfg.resolved_gen_bytes();
     let generations = cfg.generations();
     let code = StripedCode::c2t(cfg.n, cfg.t, d).expect("validated parameters");
-    let mut diag = DiagGraph::new(cfg.n, cfg.t);
+    let tags = SlotTags::new(scope);
 
     let mut output: Vec<u8> = Vec::with_capacity(cfg.value_bytes);
     let mut diagnosis_invocations = 0u64;
@@ -81,7 +122,7 @@ pub fn run_broadcast_with(
             output.resize(cfg.value_bytes, cfg.default_byte);
             break;
         }
-        hooks.observe_generation_start(g, ctx.id(), &diag);
+        hooks.observe_generation_start(g, ctx.id(), diag);
 
         let part: Option<Vec<u8>> = input.map(|v| {
             let start = g * d;
@@ -93,7 +134,7 @@ pub fn run_broadcast_with(
         });
 
         let report =
-            run_broadcast_generation(ctx, cfg, &code, &mut diag, g, part.as_deref(), hooks, bsb);
+            run_broadcast_generation(ctx, cfg, &code, diag, tags, g, part.as_deref(), hooks, bsb);
         if report.diagnosis_ran {
             diagnosis_invocations += 1;
         }

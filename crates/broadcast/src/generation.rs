@@ -4,18 +4,39 @@
 use mvbc_bsb::{BsbConfig, BsbDriver, BsbInstance, BsbValueSpec};
 use mvbc_core::DiagGraph;
 use mvbc_netsim::bits::{pack_bits, unpack_bits};
-use mvbc_netsim::NodeCtx;
+use mvbc_netsim::{scoped_tag, NodeCtx};
 use mvbc_rscode::{StripedCode, Symbol};
 
 use crate::config::BroadcastConfig;
 use crate::hooks::BroadcastHooks;
 
-const TAG_DISPERSAL: &str = "broadcast.dispersal.symbol";
-const TAG_ECHO: &str = "broadcast.echo.symbol";
-const SESSION_DETECTED: &str = "broadcast.checking.detected";
-const SESSION_DATA: &str = "broadcast.diagnosis.data";
-const SESSION_CLAIMS: &str = "broadcast.diagnosis.claims";
-const SESSION_TRUST: &str = "broadcast.diagnosis.trust";
+/// Message tags and `Broadcast_Single_Bit` session names of one broadcast
+/// execution, derived from a caller-chosen scope. A stand-alone broadcast
+/// uses the scope `"broadcast"`; slot-indexed callers (the `mvbc-smr`
+/// replicated log) scope per slot (`"smr.slot17"`, …) so a Byzantine
+/// processor cannot replay one slot's messages into another.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotTags {
+    pub dispersal: &'static str,
+    pub echo: &'static str,
+    pub detected: &'static str,
+    pub data: &'static str,
+    pub claims: &'static str,
+    pub trust: &'static str,
+}
+
+impl SlotTags {
+    pub(crate) fn new(scope: &str) -> Self {
+        SlotTags {
+            dispersal: scoped_tag(scope, "dispersal.symbol"),
+            echo: scoped_tag(scope, "echo.symbol"),
+            detected: scoped_tag(scope, "checking.detected"),
+            data: scoped_tag(scope, "diagnosis.data"),
+            claims: scoped_tag(scope, "diagnosis.claims"),
+            trust: scoped_tag(scope, "diagnosis.trust"),
+        }
+    }
+}
 
 /// Decision of one broadcast generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +83,7 @@ pub(crate) fn run_broadcast_generation(
     cfg: &BroadcastConfig,
     code: &StripedCode,
     diag: &mut DiagGraph,
+    tags: SlotTags,
     g: usize,
     my_part: Option<&[u8]>,
     hooks: &mut dyn BroadcastHooks,
@@ -103,7 +125,7 @@ pub(crate) fn run_broadcast_generation(
             }
             let mut payload = sym.to_bytes();
             if hooks.dispersal_symbol(g, j, &mut payload) {
-                ctx.send(j, TAG_DISPERSAL, payload, code.symbol_bits());
+                ctx.send(j, tags.dispersal, payload, code.symbol_bits());
             }
         }
     }
@@ -112,7 +134,7 @@ pub(crate) fn run_broadcast_generation(
         my_symbols.as_ref().map(|s| s[src].clone())
     } else if diag.trusts(me, src) {
         inbox
-            .take(src, TAG_DISPERSAL)
+            .take(src, tags.dispersal)
             .and_then(|b| Symbol::from_bytes(&b, stripes, code.symbol_bits()))
     } else {
         None
@@ -130,7 +152,7 @@ pub(crate) fn run_broadcast_generation(
                 }
                 let mut payload = sym.to_bytes();
                 if hooks.echo_symbol(g, j, &mut payload) {
-                    ctx.send(j, TAG_ECHO, payload, code.symbol_bits());
+                    ctx.send(j, tags.echo, payload, code.symbol_bits());
                 }
             }
         }
@@ -143,7 +165,7 @@ pub(crate) fn run_broadcast_generation(
                 own.clone().filter(|_| i_am_echo)
             } else if diag.trusts(me, e) {
                 inbox
-                    .take(e, TAG_ECHO)
+                    .take(e, tags.echo)
                     .and_then(|b| Symbol::from_bytes(&b, stripes, code.symbol_bits()))
             } else {
                 None
@@ -180,7 +202,7 @@ pub(crate) fn run_broadcast_generation(
         hooks.detected_flag(g, &mut detected);
     }
     let det_sources: Vec<usize> = active.iter().copied().filter(|&v| v != src).collect();
-    let bsb_det = BsbConfig::new(t, SESSION_DETECTED, participants.clone());
+    let bsb_det = BsbConfig::new(t, tags.detected, participants.clone());
     let det_instances: Vec<BsbInstance> = det_sources
         .iter()
         .map(|&v| BsbInstance {
@@ -216,7 +238,7 @@ pub(crate) fn run_broadcast_generation(
     if me == src {
         hooks.data_bits(g, &mut my_data_bits);
     }
-    let bsb_data = BsbConfig::new(t, SESSION_DATA, participants.clone());
+    let bsb_data = BsbConfig::new(t, tags.data, participants.clone());
     let data_spec = [BsbValueSpec {
         source: src,
         bits: data_bits_len,
@@ -246,7 +268,7 @@ pub(crate) fn run_broadcast_generation(
     if i_am_echo {
         hooks.echo_claim_bits(g, &mut my_claim);
     }
-    let bsb_claims = BsbConfig::new(t, SESSION_CLAIMS, participants.clone());
+    let bsb_claims = BsbConfig::new(t, tags.claims, participants.clone());
     let claim_specs: Vec<BsbValueSpec> = e_set
         .iter()
         .map(|&e| BsbValueSpec {
@@ -281,7 +303,7 @@ pub(crate) fn run_broadcast_generation(
         });
     }
     hooks.trust_bits(g, &mut trust);
-    let bsb_trust = BsbConfig::new(t, SESSION_TRUST, participants.clone());
+    let bsb_trust = BsbConfig::new(t, tags.trust, participants.clone());
     let trust_specs: Vec<BsbValueSpec> = active
         .iter()
         .map(|&v| BsbValueSpec {

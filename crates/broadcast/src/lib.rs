@@ -55,7 +55,7 @@ mod hooks;
 mod runner;
 
 pub use config::{broadcast_optimal_d_bits, BroadcastConfig, BroadcastConfigError};
-pub use engine::{run_broadcast, run_broadcast_with, BroadcastReport};
+pub use engine::{run_broadcast, run_broadcast_slot, run_broadcast_with, BroadcastReport};
 pub use generation::BroadcastGenerationOutcome;
 pub use hooks::{BroadcastHooks, NoopBroadcastHooks};
 pub use runner::{simulate_broadcast, simulate_broadcast_with, BroadcastRun};

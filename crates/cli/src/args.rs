@@ -10,6 +10,8 @@ usage:
                  [--bsb phase-king|eig|dolev-strong] [--trace <FILE>]
   mvbc broadcast --n <N> --t <T> --l <BYTES> [--d <BYTES>] [--source <ID>]
                  [--attack none|equivocate|silent-source|lying-echo]
+  mvbc smr       --n <N> --t <T> --slots <S> [--batch <CMDS>] [--batch-bytes <B>]
+                 [--attack none|equivocate|silent] [--byz <ID>] [--seed <N>]
   mvbc info      --n <N> --t <T> --l <BYTES>
   mvbc soak      [--runs <N>] [--seed <N>]
 
@@ -24,7 +26,11 @@ flags:
   --differing  give every processor a different input (consensus only)
   --bsb      Broadcast_Single_Bit substrate (default phase-king; consensus only)
   --trace    write the full network trace as CSV to FILE (consensus only)
-  --runs     number of randomized soak iterations (default 50)";
+  --runs     number of randomized soak iterations (default 50)
+  --slots    number of replicated-log slots (smr only)
+  --batch    max commands per slot batch (smr only, default 8)
+  --batch-bytes  byte budget per slot batch (smr only, default unbounded)
+  --byz      Byzantine replica id (smr only, default n-1)";
 
 /// `Broadcast_Single_Bit` substrate selection (paper §4's seam).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +56,17 @@ pub enum ConsensusAttack {
     Random,
     /// The orchestrated worst-case diagnosis adversary (`t` colluders).
     WorstCase,
+}
+
+/// Replicated-log attack selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmrAttack {
+    /// All replicas honest.
+    None,
+    /// One replica equivocates whenever it is primary.
+    Equivocate,
+    /// One replica never disperses when primary.
+    Silent,
 }
 
 /// Broadcast-side attack selection.
@@ -105,6 +122,25 @@ pub enum Command {
         seed: u64,
         /// Injected behaviour.
         attack: BroadcastAttack,
+    },
+    /// Run a replicated-log (state-machine replication) simulation.
+    Smr {
+        /// Replicas.
+        n: usize,
+        /// Byzantine tolerance.
+        t: usize,
+        /// Log slots.
+        slots: usize,
+        /// Max commands per slot batch.
+        batch: usize,
+        /// Byte budget per slot batch.
+        batch_bytes: Option<usize>,
+        /// Workload seed.
+        seed: u64,
+        /// Injected behaviour.
+        attack: SmrAttack,
+        /// The Byzantine replica (when an attack is selected).
+        byz: usize,
     },
     /// Randomized soak: many consensus runs with random parameters,
     /// inputs and adversaries, asserting the paper's properties on each.
@@ -177,6 +213,24 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         return Ok(Command::Soak {
             runs: flags.usize_of("--runs")?.unwrap_or(50),
             seed: flags.usize_of("--seed")?.unwrap_or(7) as u64,
+        });
+    }
+    if sub == "smr" {
+        let n = flags.required_usize("--n")?;
+        return Ok(Command::Smr {
+            n,
+            t: flags.required_usize("--t")?,
+            slots: flags.required_usize("--slots")?,
+            batch: flags.usize_of("--batch")?.unwrap_or(8),
+            batch_bytes: flags.usize_of("--batch-bytes")?,
+            seed: flags.usize_of("--seed")?.unwrap_or(1) as u64,
+            attack: match flags.value_of("--attack").unwrap_or("none") {
+                "none" => SmrAttack::None,
+                "equivocate" => SmrAttack::Equivocate,
+                "silent" => SmrAttack::Silent,
+                other => return Err(err(format!("unknown smr attack '{other}'"))),
+            },
+            byz: flags.usize_of("--byz")?.unwrap_or(n.saturating_sub(1)),
         });
     }
     let n = flags.required_usize("--n")?;
@@ -281,6 +335,37 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_smr() {
+        assert_eq!(
+            parse(&argv("smr --n 4 --t 1 --slots 20")).unwrap(),
+            Command::Smr {
+                n: 4,
+                t: 1,
+                slots: 20,
+                batch: 8,
+                batch_bytes: None,
+                seed: 1,
+                attack: SmrAttack::None,
+                byz: 3,
+            }
+        );
+        let cmd = parse(&argv(
+            "smr --n 7 --t 2 --slots 100 --batch 16 --batch-bytes 90 --attack equivocate --byz 2 --seed 5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Smr { n, slots, batch, batch_bytes, attack, byz, seed, .. } => {
+                assert_eq!((n, slots, batch, batch_bytes, seed), (7, 100, 16, Some(90), 5));
+                assert_eq!(attack, SmrAttack::Equivocate);
+                assert_eq!(byz, 2);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("smr --n 4 --t 1")).is_err()); // missing --slots
+        assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --attack bogus")).is_err());
     }
 
     #[test]

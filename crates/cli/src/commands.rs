@@ -8,8 +8,12 @@ use mvbc_broadcast::{simulate_broadcast, BroadcastConfig, BroadcastHooks, NoopBr
 use mvbc_core::{dsel, simulate_consensus_traced, ConsensusConfig, NoopHooks, ProtocolHooks};
 use mvbc_netsim::trace::TraceSink;
 use mvbc_metrics::MetricsSink;
+use mvbc_smr::{
+    simulate_smr, synthetic_workloads, EquivocatingPrimary, HonestReplica, SilentPrimary,
+    SmrConfig, SmrHooks,
+};
 
-use crate::args::{BroadcastAttack, BsbChoice, Command, ConsensusAttack};
+use crate::args::{BroadcastAttack, BsbChoice, Command, ConsensusAttack, SmrAttack};
 
 fn workload(len: usize, seed: u64) -> Vec<u8> {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
@@ -31,6 +35,9 @@ pub fn run(cmd: Command) {
         }
         Command::Broadcast { n, t, l, d, source, seed, attack } => {
             broadcast(n, t, l, d, source, seed, attack)
+        }
+        Command::Smr { n, t, slots, batch, batch_bytes, seed, attack, byz } => {
+            smr(n, t, slots, batch, batch_bytes, seed, attack, byz)
         }
         Command::Info { n, t, l } => info(n, t, l),
         Command::Soak { runs, seed } => soak(runs, seed),
@@ -290,6 +297,102 @@ fn broadcast(
         snap.rounds(),
         run.reports[honest[0]].diagnosis_invocations,
     );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn smr(
+    n: usize,
+    t: usize,
+    slots: usize,
+    batch: usize,
+    batch_bytes: Option<usize>,
+    seed: u64,
+    attack: SmrAttack,
+    byz: usize,
+) {
+    let cfg = match batch_bytes {
+        Some(b) => SmrConfig::with_batch_bytes(n, t, slots, batch, b),
+        None => SmrConfig::new(n, t, slots, batch),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("invalid parameters: {e}");
+        std::process::exit(2);
+    });
+    if byz >= n {
+        eprintln!("invalid parameters: --byz {byz} is out of range");
+        std::process::exit(2);
+    }
+
+    // Deterministic per-replica client streams: replica i proposes keys
+    // from its own range on its primary turns.
+    let per_replica = slots.div_ceil(n) * cfg.batch_capacity();
+    let workloads = synthetic_workloads(n, per_replica, seed);
+
+    let hooks: Vec<Box<dyn SmrHooks>> = (0..n)
+        .map(|i| -> Box<dyn SmrHooks> {
+            if i != byz {
+                return HonestReplica::boxed();
+            }
+            match attack {
+                SmrAttack::None => HonestReplica::boxed(),
+                SmrAttack::Equivocate => Box::new(EquivocatingPrimary::default()),
+                SmrAttack::Silent => Box::new(SilentPrimary),
+            }
+        })
+        .collect();
+    let faulty: Vec<usize> = match attack {
+        SmrAttack::None => Vec::new(),
+        _ => vec![byz],
+    };
+
+    let metrics = MetricsSink::new();
+    let run = simulate_smr(&cfg, workloads, hooks, metrics.clone());
+
+    println!(
+        "smr: n = {n}, t = {t}, {slots} slot(s), batch = {} command(s) ({} bytes/slot, D = {} bytes)",
+        cfg.batch_capacity(),
+        cfg.slot_bytes(),
+        cfg.resolved_gen_bytes(),
+    );
+    println!("attack: {attack:?}; Byzantine replicas: {faulty:?}");
+    let honest: Vec<usize> = (0..n).filter(|i| !faulty.contains(i)).collect();
+    let agreed = honest
+        .windows(2)
+        .all(|w| run.reports[w[0]].agreed_log() == run.reports[w[1]].agreed_log());
+    println!("fault-free log agreement: {}", if agreed { "YES" } else { "NO (BUG!)" });
+    let state_ok = honest.windows(2).all(|w| run.stores[w[0]] == run.stores[w[1]]);
+    println!("fault-free state agreement: {}", if state_ok { "YES" } else { "NO (BUG!)" });
+    let r = &run.reports[honest[0]];
+    println!(
+        "committed: {} command(s) over {} slot(s); fallback slots: {}; state digest: {:016x}",
+        r.committed_commands,
+        r.slots.len(),
+        r.fallback_slots,
+        r.digest,
+    );
+    println!("suspects (out of rotation): {:?}; isolated: {:?}", r.suspects, r.isolated);
+    let snap = metrics.snapshot();
+    let bits = snap.total_logical_bits();
+    println!(
+        "communication: {} bits over {} rounds ({:.1} bits/command, {:.2} rounds/slot)",
+        bits,
+        snap.rounds(),
+        bits as f64 / r.committed_commands.max(1) as f64,
+        snap.rounds() as f64 / r.slots.len().max(1) as f64,
+    );
+    for s in r.slots.iter().take(8) {
+        println!(
+            "  slot {:>3}: primary {} -> {} command(s){}{}",
+            s.slot,
+            s.primary,
+            s.committed.len(),
+            if s.diagnosis_ran { ", diagnosis ran" } else { "" },
+            if s.fallback { ", FELL BACK" } else { "" },
+        );
+    }
+    if r.slots.len() > 8 {
+        println!("  ... ({} more slots)", r.slots.len() - 8);
+    }
 }
 
 fn info(n: usize, t: usize, l: usize) {

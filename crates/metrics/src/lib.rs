@@ -200,6 +200,37 @@ impl Snapshot {
             .sum()
     }
 
+    /// The counters accumulated since `earlier` was taken (per-key
+    /// saturating difference, dropping keys that did not change).
+    ///
+    /// This is how per-slot costs are measured in multi-slot runs (e.g.
+    /// the `mvbc-smr` replicated log): snapshot at each slot boundary and
+    /// diff, instead of calling [`MetricsSink::reset`] mid-run from one
+    /// node while other nodes are still sending.
+    ///
+    /// Note that a node's *own* counters are exact in a mid-run delta
+    /// (its sends are ordered with its snapshots), while other nodes may
+    /// already have recorded sends for the next slot.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let by_node_tag = self
+            .by_node_tag
+            .iter()
+            .filter_map(|(key, c)| {
+                let e = earlier.by_node_tag.get(key).copied().unwrap_or_default();
+                let d = Counter {
+                    messages: c.messages.saturating_sub(e.messages),
+                    logical_bits: c.logical_bits.saturating_sub(e.logical_bits),
+                    payload_bytes: c.payload_bytes.saturating_sub(e.payload_bytes),
+                };
+                (d != Counter::default()).then(|| (key.clone(), d))
+            })
+            .collect();
+        Snapshot {
+            by_node_tag,
+            rounds: self.rounds.saturating_sub(earlier.rounds),
+        }
+    }
+
     /// All distinct tags seen, sorted.
     pub fn tags(&self) -> Vec<String> {
         let mut tags: Vec<String> = self
@@ -389,6 +420,28 @@ mod tests {
         let s = sink.snapshot();
         assert_eq!(s.clone(), s);
         assert_ne!(s, Snapshot::default());
+    }
+
+    #[test]
+    fn delta_between_snapshots() {
+        let sink = MetricsSink::new();
+        sink.record_send(0, "a.x", 10, 2);
+        sink.record_round();
+        let earlier = sink.snapshot();
+        sink.record_send(0, "a.x", 5, 1);
+        sink.record_send(1, "b.y", 3, 1);
+        sink.record_round();
+        sink.record_round();
+        let d = sink.snapshot().delta(&earlier);
+        assert_eq!(d.total_messages(), 2);
+        assert_eq!(d.total_logical_bits(), 8);
+        assert_eq!(d.logical_bits_by_node(0), 5);
+        assert_eq!(d.logical_bits_by_node(1), 3);
+        assert_eq!(d.rounds(), 2);
+        // Unchanged keys are dropped, so a no-op delta is empty.
+        assert_eq!(sink.snapshot().delta(&sink.snapshot()), Snapshot::default());
+        // Deltas against a *later* snapshot saturate to zero.
+        assert_eq!(earlier.delta(&sink.snapshot()).total_logical_bits(), 0);
     }
 
     #[test]

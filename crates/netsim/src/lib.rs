@@ -54,10 +54,11 @@ use mvbc_metrics::MetricsSink;
 
 pub use mvbc_metrics::NodeId;
 
-/// How long the coordinator waits for a node's round submission before
-/// declaring the simulation wedged. Protocol bugs (mismatched `end_round`
-/// counts between nodes) surface as this panic instead of a silent hang.
-const ROUND_TIMEOUT: Duration = Duration::from_secs(60);
+/// Default for [`SimConfig::round_timeout`]: how long the coordinator
+/// waits for a node's round submission before declaring the simulation
+/// wedged. Protocol bugs (mismatched `end_round` counts between nodes)
+/// surface as this panic instead of a silent hang.
+pub const DEFAULT_ROUND_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,16 +68,44 @@ pub struct SimConfig {
     /// Abort the run if it exceeds this many rounds (guards against
     /// run-away protocols in tests). `None` disables the check.
     pub max_rounds: Option<u64>,
+    /// How long the coordinator waits for any round submission before
+    /// declaring the simulation wedged. Long multi-slot runs on slow
+    /// machines may need more than [`DEFAULT_ROUND_TIMEOUT`].
+    pub round_timeout: Duration,
 }
 
 impl SimConfig {
-    /// Configuration with the default round limit (1 million).
+    /// Configuration with the default round limit (1 million) and round
+    /// timeout ([`DEFAULT_ROUND_TIMEOUT`]).
     pub fn new(n: usize) -> Self {
         SimConfig {
             n,
             max_rounds: Some(1_000_000),
+            round_timeout: DEFAULT_ROUND_TIMEOUT,
         }
     }
+
+    /// Returns the configuration with a different wedge-detection timeout.
+    pub fn with_round_timeout(mut self, timeout: Duration) -> Self {
+        self.round_timeout = timeout;
+        self
+    }
+}
+
+/// Interns `"{scope}.{suffix}"` as a `'static` message/metric tag.
+///
+/// Protocols that run many sequential executions inside one simulation
+/// (e.g. the `mvbc-smr` replicated log) scope their tags per execution so
+/// a Byzantine processor sending a message early or late cannot have it
+/// mistaken for the like-tagged message of an adjacent slot.
+pub fn scoped_tag(scope: &str, suffix: &str) -> &'static str {
+    mvbc_metrics::intern_tag(&format!("{scope}.{suffix}"))
+}
+
+/// Interns the per-slot tag scope `"{proto}.slot{slot}"` (see
+/// [`scoped_tag`]).
+pub fn slot_scope(proto: &str, slot: u64) -> &'static str {
+    mvbc_metrics::intern_tag(&format!("{proto}.slot{slot}"))
 }
 
 /// One delivered message.
@@ -333,7 +362,7 @@ pub fn run_simulation_traced<O: Send + 'static>(
             let mut waiting = active_count;
             while waiting > 0 {
                 let msg = coord_rx
-                    .recv_timeout(ROUND_TIMEOUT)
+                    .recv_timeout(config.round_timeout)
                     .expect("simulation wedged: a node stopped participating in rounds");
                 match msg {
                     CoordMsg::Submit { from, outgoing } => {
@@ -593,8 +622,8 @@ mod tests {
             ctx.end_round();
         })];
         let cfg = SimConfig {
-            n: 1,
             max_rounds: Some(10),
+            ..SimConfig::new(1)
         };
         let _ = run_simulation(cfg, metrics, logics);
     }
@@ -605,6 +634,35 @@ mod tests {
         let metrics = MetricsSink::new();
         let logics: Vec<NodeLogic<()>> = vec![Box::new(|_| panic!("boom"))];
         let _ = run_simulation(SimConfig::new(1), metrics, logics);
+    }
+
+    #[test]
+    fn scoped_tags_intern_and_compose() {
+        let a = scoped_tag("smr.slot3", "dispersal.symbol");
+        let b = scoped_tag(&format!("smr.slot{}", 3), "dispersal.symbol");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "smr.slot3.dispersal.symbol");
+        assert_eq!(slot_scope("smr", 7), "smr.slot7");
+        assert_ne!(slot_scope("smr", 7), slot_scope("smr", 8));
+    }
+
+    #[test]
+    fn round_timeout_is_configurable() {
+        let cfg = SimConfig::new(2).with_round_timeout(Duration::from_secs(5));
+        assert_eq!(cfg.round_timeout, Duration::from_secs(5));
+        assert_eq!(SimConfig::new(2).round_timeout, DEFAULT_ROUND_TIMEOUT);
+        // A short timeout still completes a healthy run.
+        let metrics = MetricsSink::new();
+        let logics: Vec<NodeLogic<u64>> = (0..2)
+            .map(|_| {
+                Box::new(|ctx: &mut NodeCtx| {
+                    ctx.end_round();
+                    ctx.round()
+                }) as NodeLogic<u64>
+            })
+            .collect();
+        let res = run_simulation(cfg, metrics, logics);
+        assert_eq!(res.outputs, vec![1, 1]);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Commands, fixed-width batch framing, and the client-side batch queue.
+
+use std::collections::VecDeque;
+
+/// One state-machine command: `SET key value`, fixed-width encoded.
+///
+/// Key `0` is reserved as the no-op used for batch padding, so a slot that
+/// falls back to the protocol's default value (all zero bytes) decodes to
+/// an *empty* batch at every replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Command {
+    /// Key written by the command (`0` = no-op padding).
+    pub key: u16,
+    /// Value stored under the key.
+    pub value: u32,
+}
+
+impl Command {
+    /// Encoded size of one command.
+    pub const WIRE_BYTES: usize = 6;
+
+    /// Fixed-width big-endian encoding.
+    pub fn encode(&self) -> [u8; Self::WIRE_BYTES] {
+        let k = self.key.to_be_bytes();
+        let v = self.value.to_be_bytes();
+        [k[0], k[1], v[0], v[1], v[2], v[3]]
+    }
+
+    /// Inverse of [`Command::encode`]; `None` on a length mismatch.
+    pub fn decode(bytes: &[u8]) -> Option<Command> {
+        if bytes.len() != Self::WIRE_BYTES {
+            return None;
+        }
+        Some(Command {
+            key: u16::from_be_bytes([bytes[0], bytes[1]]),
+            value: u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]),
+        })
+    }
+
+    /// True for the padding command (key `0`).
+    pub fn is_noop(&self) -> bool {
+        self.key == 0
+    }
+}
+
+/// Encodes up to `capacity` commands as one fixed-width slot payload
+/// (`capacity * WIRE_BYTES` bytes, zero-padded with no-ops).
+///
+/// # Panics
+///
+/// Panics when `commands.len() > capacity`.
+pub fn encode_batch(commands: &[Command], capacity: usize) -> Vec<u8> {
+    assert!(
+        commands.len() <= capacity,
+        "batch of {} exceeds slot capacity {capacity}",
+        commands.len()
+    );
+    let mut out = Vec::with_capacity(capacity * Command::WIRE_BYTES);
+    for c in commands {
+        out.extend_from_slice(&c.encode());
+    }
+    out.resize(capacity * Command::WIRE_BYTES, 0);
+    out
+}
+
+/// Decodes a slot payload, dropping no-op padding. Trailing bytes that do
+/// not fill a whole command are ignored.
+pub fn decode_batch(bytes: &[u8]) -> Vec<Command> {
+    bytes
+        .chunks_exact(Command::WIRE_BYTES)
+        .filter_map(Command::decode)
+        .filter(|c| !c.is_noop())
+        .collect()
+}
+
+/// Deterministic synthetic client streams for demos, soaks and
+/// benchmarks: `per_replica` commands per replica, replica `i` writing
+/// keys from its own range with seeded pseudo-random values.
+///
+/// Keys are assigned modulo the `u16` key space *skipping the no-op key
+/// `0`*, so every generated command is committable at any stream length
+/// (streams beyond 65535 total commands reuse keys, which under `SET`
+/// semantics overwrites — never silently drops — earlier writes).
+pub fn synthetic_workloads(n: usize, per_replica: usize, seed: u64) -> Vec<Vec<Command>> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next_value = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 32) as u32
+    };
+    (0..n)
+        .map(|i| {
+            (0..per_replica)
+                .map(|j| Command {
+                    key: ((i * per_replica + j) % (u16::MAX as usize)) as u16 + 1,
+                    value: next_value(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A replica's pending-command queue with the log's batch budget: commands
+/// accumulate here until the replica's turn as primary drains up to
+/// `max_commands` of them into one slot proposal.
+///
+/// # Examples
+///
+/// ```
+/// use mvbc_smr::{BatchBuilder, Command};
+///
+/// let mut q = BatchBuilder::new(2);
+/// q.extend((1..=5u16).map(|k| Command { key: k, value: 9 }));
+/// assert_eq!(q.next_batch().len(), 2); // budget caps the batch
+/// assert_eq!(q.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchBuilder {
+    queue: VecDeque<Command>,
+    max_commands: usize,
+}
+
+impl BatchBuilder {
+    /// An empty queue draining at most `max_commands` per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_commands == 0`.
+    pub fn new(max_commands: usize) -> Self {
+        assert!(max_commands > 0, "batch budget must admit a command");
+        BatchBuilder {
+            queue: VecDeque::new(),
+            max_commands,
+        }
+    }
+
+    /// Enqueues one command (no-ops are dropped — they would be stripped
+    /// at decode anyway).
+    pub fn push(&mut self, cmd: Command) {
+        if !cmd.is_noop() {
+            self.queue.push_back(cmd);
+        }
+    }
+
+    /// Enqueues many commands.
+    pub fn extend(&mut self, cmds: impl IntoIterator<Item = Command>) {
+        for c in cmds {
+            self.push(c);
+        }
+    }
+
+    /// Drains the next batch: up to the per-slot command budget, in FIFO
+    /// order. Empty when no commands are pending.
+    pub fn next_batch(&mut self) -> Vec<Command> {
+        let take = self.queue.len().min(self.max_commands);
+        self.queue.drain(..take).collect()
+    }
+
+    /// Puts a previously drained batch back at the *front* of the queue
+    /// (a fault-free primary whose slot fell back retries its proposal on
+    /// its next turn, preserving client order).
+    pub fn requeue(&mut self, batch: Vec<Command>) {
+        for cmd in batch.into_iter().rev() {
+            if !cmd.is_noop() {
+                self.queue.push_front(cmd);
+            }
+        }
+    }
+
+    /// Number of pending commands.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no commands are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrip() {
+        let c = Command { key: 513, value: 0xDEAD_BEEF };
+        assert_eq!(Command::decode(&c.encode()), Some(c));
+        assert_eq!(Command::decode(&[1, 2, 3]), None);
+        assert!(Command { key: 0, value: 7 }.is_noop());
+        assert!(!c.is_noop());
+    }
+
+    #[test]
+    fn batch_roundtrip_with_padding() {
+        let cmds = vec![
+            Command { key: 1, value: 10 },
+            Command { key: 2, value: 20 },
+        ];
+        let bytes = encode_batch(&cmds, 4);
+        assert_eq!(bytes.len(), 4 * Command::WIRE_BYTES);
+        assert_eq!(decode_batch(&bytes), cmds);
+        // The all-zero fallback payload is an empty batch.
+        assert!(decode_batch(&[0u8; 4 * Command::WIRE_BYTES]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot capacity")]
+    fn batch_over_capacity_panics() {
+        let cmds = vec![Command { key: 1, value: 1 }; 3];
+        let _ = encode_batch(&cmds, 2);
+    }
+
+    #[test]
+    fn builder_drains_fifo_under_budget() {
+        let mut q = BatchBuilder::new(3);
+        assert!(q.is_empty());
+        q.extend((1..=7u16).map(|k| Command { key: k, value: 0 }));
+        q.push(Command { key: 0, value: 1 }); // no-op dropped
+        assert_eq!(q.len(), 7);
+        let b1 = q.next_batch();
+        assert_eq!(b1.iter().map(|c| c.key).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(q.next_batch().len(), 3);
+        assert_eq!(q.next_batch().len(), 1);
+        assert!(q.next_batch().is_empty());
+    }
+
+    #[test]
+    fn synthetic_workloads_are_deterministic_and_committable() {
+        let a = synthetic_workloads(3, 4, 7);
+        let b = synthetic_workloads(3, 4, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, synthetic_workloads(3, 4, 8));
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|w| w.len() == 4));
+        assert!(a.iter().flatten().all(|c| !c.is_noop()));
+        // Distinct key ranges per replica below the u16 wrap point.
+        assert_eq!(a[0][0].key, 1);
+        assert_eq!(a[1][0].key, 5);
+        // Key assignment never produces the no-op key, even at the wrap.
+        let big = synthetic_workloads(1, (u16::MAX as usize) + 2, 1);
+        assert!(big[0].iter().all(|c| !c.is_noop()));
+        assert_eq!(big[0][u16::MAX as usize].key, 1); // wrapped past the key space
+    }
+
+    #[test]
+    fn requeue_preserves_order() {
+        let mut q = BatchBuilder::new(2);
+        q.extend((1..=4u16).map(|k| Command { key: k, value: 0 }));
+        let batch = q.next_batch(); // [1, 2]
+        q.requeue(batch);
+        let keys: Vec<u16> = q.next_batch().iter().map(|c| c.key).collect();
+        assert_eq!(keys, vec![1, 2]);
+        assert_eq!(q.len(), 2);
+    }
+}

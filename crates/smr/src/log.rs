@@ -1,0 +1,539 @@
+//! The replicated-log engine: many broadcast slots in one simulation.
+
+use std::fmt;
+use std::time::Duration;
+
+use mvbc_broadcast::{broadcast_optimal_d_bits, run_broadcast_slot, BroadcastConfig};
+use mvbc_bsb::{BsbDriver, PhaseKingDriver};
+use mvbc_core::DiagGraph;
+use mvbc_metrics::MetricsSink;
+use mvbc_netsim::{run_simulation, slot_scope, NodeCtx, NodeLogic, SimConfig};
+
+use crate::batch::{decode_batch, encode_batch, BatchBuilder, Command};
+use crate::primary::primary_for_slot;
+use crate::slot::{AgreedSlot, SlotReport, SmrHooks};
+use crate::state_machine::{KvStore, StateMachine};
+
+/// Error for invalid replicated-log parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmrConfigError {
+    /// `t >= n/3`.
+    TooManyFaults {
+        /// Number of replicas.
+        n: usize,
+        /// Requested tolerance.
+        t: usize,
+    },
+    /// A log needs at least one slot.
+    ZeroSlots,
+    /// The batch budget admits no command.
+    EmptyBatchBudget,
+}
+
+impl fmt::Display for SmrConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmrConfigError::TooManyFaults { n, t } => {
+                write!(f, "error-free replication requires t < n/3 (n = {n}, t = {t})")
+            }
+            SmrConfigError::ZeroSlots => write!(f, "the log must have at least one slot"),
+            SmrConfigError::EmptyBatchBudget => {
+                write!(f, "the batch budget must admit at least one command")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmrConfigError {}
+
+/// Parameters of one replicated-log run.
+///
+/// # Examples
+///
+/// ```
+/// use mvbc_smr::SmrConfig;
+///
+/// let cfg = SmrConfig::new(4, 1, 10, 8)?;
+/// assert_eq!(cfg.batch_capacity(), 8);
+/// assert_eq!(cfg.slot_bytes(), 8 * 6);
+/// # Ok::<(), mvbc_smr::SmrConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmrConfig {
+    /// Number of replicas.
+    pub n: usize,
+    /// Fault tolerance (`t < n/3`).
+    pub t: usize,
+    /// Number of log slots to run.
+    pub slots: usize,
+    /// Maximum commands per slot batch.
+    pub batch_commands: usize,
+    /// Byte budget per slot batch (caps `batch_commands` when tighter).
+    pub batch_bytes: usize,
+    /// Explicit broadcast generation size in bytes (`None` = sized for
+    /// the *aggregate* log payload; see [`SmrConfig::resolved_gen_bytes`]).
+    pub gen_bytes: Option<usize>,
+    /// Coordinator wedge-detection timeout for the underlying simulation
+    /// (`None` = the simulator default). Long logs on slow machines can
+    /// raise it.
+    pub round_timeout: Option<Duration>,
+}
+
+impl SmrConfig {
+    /// Validated constructor with an unbounded byte budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SmrConfigError`] for invalid parameters.
+    pub fn new(n: usize, t: usize, slots: usize, batch_commands: usize) -> Result<Self, SmrConfigError> {
+        Self::with_batch_bytes(n, t, slots, batch_commands, usize::MAX)
+    }
+
+    /// As [`SmrConfig::new`] with an explicit per-slot byte budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`SmrConfig::new`], plus [`SmrConfigError::EmptyBatchBudget`]
+    /// when the budget admits no command.
+    pub fn with_batch_bytes(
+        n: usize,
+        t: usize,
+        slots: usize,
+        batch_commands: usize,
+        batch_bytes: usize,
+    ) -> Result<Self, SmrConfigError> {
+        if 3 * t >= n {
+            return Err(SmrConfigError::TooManyFaults { n, t });
+        }
+        if slots == 0 {
+            return Err(SmrConfigError::ZeroSlots);
+        }
+        if batch_commands == 0 || batch_bytes < Command::WIRE_BYTES {
+            return Err(SmrConfigError::EmptyBatchBudget);
+        }
+        Ok(SmrConfig {
+            n,
+            t,
+            slots,
+            batch_commands,
+            batch_bytes,
+            gen_bytes: None,
+            round_timeout: None,
+        })
+    }
+
+    /// Commands per slot under both budgets.
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_commands.min(self.batch_bytes / Command::WIRE_BYTES)
+    }
+
+    /// Fixed slot payload size (common knowledge; batches are padded).
+    pub fn slot_bytes(&self) -> usize {
+        self.batch_capacity() * Command::WIRE_BYTES
+    }
+
+    /// Broadcast generation size per slot.
+    ///
+    /// The default sizes generations against the *aggregate* log payload
+    /// (`slots * slot_bytes`), not one slot: the diagnosis graph — and
+    /// with it the paper's `t(t+2)` dispute budget — persists across the
+    /// whole log, so the Eq. (2)-style balance between per-generation
+    /// `Broadcast_Single_Bit` overhead and worst-case diagnosis cost is
+    /// struck once for the log. This is the amortization the
+    /// `exp_smr_throughput` experiment measures: per-slot sizing pays the
+    /// fixed overhead `sqrt(slots)` times more often.
+    pub fn resolved_gen_bytes(&self) -> usize {
+        let slot_bytes = self.slot_bytes();
+        match self.gen_bytes {
+            Some(d) => d.clamp(1, slot_bytes),
+            None => {
+                let aggregate_bits = (self.slots * slot_bytes) as u64 * 8;
+                let d_bits = broadcast_optimal_d_bits(self.n, self.t, aggregate_bits);
+                (d_bits.div_ceil(8) as usize).clamp(1, slot_bytes)
+            }
+        }
+    }
+
+    /// The broadcast parameters of one slot led by `primary`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `primary >= n` (callers pick primaries from the
+    /// rotation, which only yields valid ids).
+    pub fn broadcast_config(&self, primary: usize) -> BroadcastConfig {
+        BroadcastConfig::with_gen_bytes(
+            self.n,
+            self.t,
+            primary,
+            self.slot_bytes(),
+            self.resolved_gen_bytes(),
+        )
+        .expect("validated SMR parameters yield valid broadcast parameters")
+    }
+}
+
+/// One replica's summary of a whole log run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmrReport {
+    /// Per-slot records, in slot order.
+    pub slots: Vec<SlotReport>,
+    /// Final state-machine digest.
+    pub digest: u64,
+    /// Total commands committed (across all slots).
+    pub committed_commands: u64,
+    /// Slots that committed the fallback (empty) batch.
+    pub fallback_slots: u64,
+    /// Replicas isolated by the end of the run.
+    pub isolated: Vec<usize>,
+    /// Replicas excluded from primary rotation by the end of the run
+    /// (isolated or caught misbehaving as primary).
+    pub suspects: Vec<usize>,
+}
+
+impl SmrReport {
+    /// The agreement-relevant per-slot views (see [`SlotReport::agreed`]):
+    /// identical at every fault-free replica.
+    pub fn agreed_log(&self) -> Vec<AgreedSlot<'_>> {
+        self.slots.iter().map(SlotReport::agreed).collect()
+    }
+}
+
+/// Runs the replicated log for one replica: the per-node loop of
+/// [`simulate_smr`].
+///
+/// `commands` is this replica's client command stream; it proposes them
+/// in batches on its primary turns. The diagnosis graph and the suspect
+/// set persist across slots — the paper's "memory across generations"
+/// lifted to the log level — so a primary caught equivocating in slot `s`
+/// is excluded from rotation for every slot after `s`, and its slot
+/// commits the agreed fallback (an empty batch) at every fault-free
+/// replica.
+///
+/// The eviction rule is deliberately conservative: the primary is
+/// *caught* whenever its slot's diagnosis removed an edge incident to it,
+/// and a removed edge only proves that *one* of its endpoints is faulty —
+/// so a Byzantine accuser can frame a fault-free primary (forcing its
+/// slot to fall back and evicting it from rotation) at the price of one
+/// of its own `t + 1` disposable edges. The cost is bounded by the log's
+/// global dispute budget: `t` Byzantine replicas can evict at most
+/// `t(t + 1)` primaries before they are all isolated, and if every
+/// active replica ends up suspected the rotation falls back to the full
+/// active set, so the log never stalls. A framed fault-free primary
+/// re-queues its batch and proposes it again if the rotation returns to
+/// it (it always does in the all-suspect fallback); until then those
+/// clients' commands stay pending.
+pub fn run_replicated_log<S: StateMachine>(
+    ctx: &mut NodeCtx,
+    cfg: &SmrConfig,
+    commands: Vec<Command>,
+    hooks: &mut dyn SmrHooks,
+    bsb: &mut dyn BsbDriver,
+    state: &mut S,
+) -> SmrReport {
+    let me = ctx.id();
+    let mut pending = BatchBuilder::new(cfg.batch_capacity());
+    pending.extend(commands);
+    let mut diag = DiagGraph::new(cfg.n, cfg.t);
+    let mut suspects = vec![false; cfg.n];
+    let mut slots: Vec<SlotReport> = Vec::with_capacity(cfg.slots);
+    let mut last_snap = ctx.metrics().snapshot();
+
+    for slot in 0..cfg.slots as u64 {
+        if diag.is_isolated(me) {
+            // An identified-faulty replica is cut off; fault-free
+            // replicas never land here (Lemma 4).
+            break;
+        }
+        let Some(primary) = primary_for_slot(slot, &diag, &suspects) else {
+            break;
+        };
+        let bcfg = cfg.broadcast_config(primary);
+        let proposal: Option<Vec<u8>> =
+            (me == primary).then(|| encode_batch(&pending.next_batch(), cfg.batch_capacity()));
+        let mut slot_hooks = hooks.slot_hooks(slot, me == primary);
+
+        let pre_trust: Vec<bool> = (0..cfg.n).map(|x| diag.trusts(primary, x)).collect();
+        let report = run_broadcast_slot(
+            ctx,
+            &bcfg,
+            proposal.as_deref(),
+            slot_scope("smr", slot),
+            &mut diag,
+            slot_hooks.as_mut(),
+            bsb,
+        );
+        let snap = ctx.metrics().snapshot();
+        let delta = snap.delta(&last_snap);
+        last_snap = snap;
+
+        // The primary is *caught* when this slot's diagnosis implicated
+        // it: it was isolated outright, it could not sustain an echo set,
+        // or it lost a dispute edge to a replica that was *not itself*
+        // identified as faulty (an edge removed by isolating a proven
+        // liar says nothing about the primary, so it does not count).
+        // All inputs are common knowledge, so every fault-free replica
+        // reaches the same verdict, commits the same fallback, and drops
+        // the primary from rotation together.
+        let caught = report.defaulted
+            || diag.is_isolated(primary)
+            || (0..cfg.n).any(|x| {
+                pre_trust[x] && !diag.trusts(primary, x) && !diag.is_isolated(x)
+            });
+        if caught {
+            suspects[primary] = true;
+        }
+        let committed = if caught { Vec::new() } else { decode_batch(&report.output) };
+        if caught && me == primary {
+            if let Some(bytes) = &proposal {
+                pending.requeue(decode_batch(bytes));
+            }
+        }
+        state.apply_batch(&committed);
+        slots.push(SlotReport {
+            slot,
+            primary,
+            committed,
+            fallback: caught,
+            diagnosis_ran: report.diagnosis_invocations > 0,
+            bits_sent_by_me: delta.logical_bits_by_node(me),
+            rounds: delta.rounds(),
+        });
+    }
+
+    let committed_commands = slots.iter().map(|s| s.committed.len() as u64).sum();
+    let fallback_slots = slots.iter().filter(|s| s.fallback).count() as u64;
+    SmrReport {
+        digest: state.digest(),
+        committed_commands,
+        fallback_slots,
+        isolated: (0..cfg.n).filter(|&v| diag.is_isolated(v)).collect(),
+        suspects: (0..cfg.n)
+            .filter(|&v| suspects[v] || diag.is_isolated(v))
+            .collect(),
+        slots,
+    }
+}
+
+/// Result of a simulated replicated-log run.
+#[derive(Debug)]
+pub struct SmrRun {
+    /// Per-replica reports, indexed by replica id.
+    pub reports: Vec<SmrReport>,
+    /// Final key-value stores, indexed by replica id.
+    pub stores: Vec<KvStore>,
+    /// Synchronous rounds executed for the whole log.
+    pub rounds: u64,
+}
+
+/// Runs a whole replicated log — every slot — inside **one** simulation:
+/// one [`run_simulation`] call, replicas looping over slots with
+/// dispute-control state carried across them.
+///
+/// `workloads[i]` is replica `i`'s client command stream (proposed on its
+/// primary turns); `hooks[i]` its behaviour.
+///
+/// # Panics
+///
+/// Panics when `workloads.len() != cfg.n` or `hooks.len() != cfg.n`.
+///
+/// # Examples
+///
+/// ```
+/// use mvbc_smr::{simulate_smr, Command, HonestReplica, SmrConfig};
+/// use mvbc_metrics::MetricsSink;
+///
+/// let cfg = SmrConfig::new(4, 1, 4, 2)?;
+/// let workloads: Vec<Vec<Command>> = (0..4u16)
+///     .map(|i| vec![Command { key: i + 1, value: u32::from(i) * 10 }])
+///     .collect();
+/// let hooks = (0..4).map(|_| HonestReplica::boxed()).collect();
+/// let run = simulate_smr(&cfg, workloads, hooks, MetricsSink::new());
+/// // All replicas hold identical state and committed every command.
+/// assert!(run.reports.windows(2).all(|w| w[0].digest == w[1].digest));
+/// assert_eq!(run.reports[0].committed_commands, 4);
+/// # Ok::<(), mvbc_smr::SmrConfigError>(())
+/// ```
+pub fn simulate_smr(
+    cfg: &SmrConfig,
+    workloads: Vec<Vec<Command>>,
+    hooks: Vec<Box<dyn SmrHooks>>,
+    metrics: MetricsSink,
+) -> SmrRun {
+    let drivers = (0..cfg.n)
+        .map(|_| Box::new(PhaseKingDriver) as Box<dyn BsbDriver>)
+        .collect();
+    simulate_smr_with(cfg, workloads, hooks, drivers, metrics)
+}
+
+/// As [`simulate_smr`] with one explicit `Broadcast_Single_Bit` driver
+/// per replica (the §4 substitution seam).
+///
+/// # Panics
+///
+/// As [`simulate_smr`], plus when `drivers.len() != cfg.n`.
+pub fn simulate_smr_with(
+    cfg: &SmrConfig,
+    workloads: Vec<Vec<Command>>,
+    hooks: Vec<Box<dyn SmrHooks>>,
+    drivers: Vec<Box<dyn BsbDriver>>,
+    metrics: MetricsSink,
+) -> SmrRun {
+    assert_eq!(workloads.len(), cfg.n, "one command stream per replica");
+    assert_eq!(hooks.len(), cfg.n, "one hooks object per replica");
+    assert_eq!(drivers.len(), cfg.n, "one BSB driver per replica");
+
+    let logics: Vec<NodeLogic<(SmrReport, KvStore)>> = workloads
+        .into_iter()
+        .zip(hooks)
+        .zip(drivers)
+        .map(|((commands, mut hook), mut driver)| {
+            let cfg = cfg.clone();
+            Box::new(move |ctx: &mut NodeCtx| {
+                let mut store = KvStore::default();
+                let report = run_replicated_log(
+                    ctx,
+                    &cfg,
+                    commands,
+                    hook.as_mut(),
+                    driver.as_mut(),
+                    &mut store,
+                );
+                (report, store)
+            }) as NodeLogic<(SmrReport, KvStore)>
+        })
+        .collect();
+
+    let mut sim_cfg = SimConfig::new(cfg.n);
+    if let Some(timeout) = cfg.round_timeout {
+        sim_cfg = sim_cfg.with_round_timeout(timeout);
+    }
+    let result = run_simulation(sim_cfg, metrics, logics);
+    let (reports, stores) = result.outputs.into_iter().unzip();
+    SmrRun {
+        reports,
+        stores,
+        rounds: result.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::{EquivocatingPrimary, HonestReplica};
+
+    fn workloads(n: usize, per_node: u16) -> Vec<Vec<Command>> {
+        (0..n)
+            .map(|i| {
+                (0..per_node)
+                    .map(|j| Command {
+                        key: (i as u16) * per_node + j + 1,
+                        value: u32::from(j) + 100 * i as u32,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SmrConfig::new(4, 1, 10, 4).is_ok());
+        assert_eq!(
+            SmrConfig::new(3, 1, 10, 4),
+            Err(SmrConfigError::TooManyFaults { n: 3, t: 1 })
+        );
+        assert_eq!(SmrConfig::new(4, 1, 0, 4), Err(SmrConfigError::ZeroSlots));
+        assert_eq!(SmrConfig::new(4, 1, 10, 0), Err(SmrConfigError::EmptyBatchBudget));
+        assert_eq!(
+            SmrConfig::with_batch_bytes(4, 1, 10, 4, 5),
+            Err(SmrConfigError::EmptyBatchBudget)
+        );
+        assert!(SmrConfigError::ZeroSlots.to_string().contains("slot"));
+    }
+
+    #[test]
+    fn byte_budget_caps_batch() {
+        let cfg = SmrConfig::with_batch_bytes(4, 1, 10, 100, 20).unwrap();
+        assert_eq!(cfg.batch_capacity(), 3); // 20 / 6
+        assert_eq!(cfg.slot_bytes(), 18);
+    }
+
+    #[test]
+    fn aggregate_gen_sizing_beats_per_slot_sizing() {
+        // The log sizes generations against slots * slot_bytes, so a
+        // longer log gets larger generations (fewer per slot).
+        let short = SmrConfig::new(7, 2, 1, 16).unwrap();
+        let long = SmrConfig::new(7, 2, 100, 16).unwrap();
+        assert!(long.resolved_gen_bytes() > short.resolved_gen_bytes());
+        let bcfg = long.broadcast_config(3);
+        assert_eq!(bcfg.source, 3);
+        assert_eq!(bcfg.value_bytes, long.slot_bytes());
+    }
+
+    #[test]
+    fn honest_log_commits_everything_in_rotation_order() {
+        let n = 4;
+        let cfg = SmrConfig::new(n, 1, 8, 2).unwrap();
+        let hooks = (0..n).map(|_| HonestReplica::boxed()).collect();
+        let run = simulate_smr(&cfg, workloads(n, 2), hooks, MetricsSink::new());
+        for w in run.reports.windows(2) {
+            assert_eq!(w[0].agreed_log(), w[1].agreed_log(), "replicas disagree on the log");
+            assert_eq!(w[0].digest, w[1].digest);
+        }
+        let r = &run.reports[0];
+        assert_eq!(r.committed_commands, 4 * 2);
+        assert_eq!(r.fallback_slots, 0);
+        assert!(r.suspects.is_empty());
+        // Slot s is led by replica s % n and carries its commands.
+        for s in &r.slots {
+            assert_eq!(s.primary, (s.slot % n as u64) as usize);
+            assert!(!s.fallback);
+        }
+        assert_eq!(run.stores[0], run.stores[3]);
+    }
+
+    #[test]
+    fn equivocating_primary_is_caught_and_rotated_out() {
+        let n = 4;
+        let byz = 1usize;
+        let cfg = SmrConfig::new(n, 1, 9, 2).unwrap();
+        let hooks = (0..n)
+            .map(|i| {
+                if i == byz {
+                    Box::new(EquivocatingPrimary::default()) as Box<dyn SmrHooks>
+                } else {
+                    HonestReplica::boxed()
+                }
+            })
+            .collect();
+        let run = simulate_smr(&cfg, workloads(n, 3), hooks, MetricsSink::new());
+        let honest: Vec<usize> = (0..n).filter(|&i| i != byz).collect();
+        for w in honest.windows(2) {
+            assert_eq!(run.reports[w[0]].agreed_log(), run.reports[w[1]].agreed_log());
+            assert_eq!(run.stores[w[0]], run.stores[w[1]]);
+        }
+        let r = &run.reports[honest[0]];
+        // Slot 1 (the Byzantine replica's first turn) fell back...
+        let s1 = &r.slots[1];
+        assert_eq!(s1.primary, byz);
+        assert!(s1.fallback && s1.committed.is_empty() && s1.diagnosis_ran);
+        // ...and the replica never led again.
+        assert!(r.suspects.contains(&byz));
+        assert!(r.slots[2..].iter().all(|s| s.primary != byz));
+        assert_eq!(r.fallback_slots, 1);
+    }
+
+    #[test]
+    fn per_slot_deltas_cover_the_run() {
+        let n = 4;
+        let cfg = SmrConfig::new(n, 1, 4, 2).unwrap();
+        let hooks = (0..n).map(|_| HonestReplica::boxed()).collect();
+        let metrics = MetricsSink::new();
+        let run = simulate_smr(&cfg, workloads(n, 1), hooks, metrics.clone());
+        let r = &run.reports[0];
+        assert!(r.slots.iter().all(|s| s.rounds > 0));
+        let per_slot_rounds: u64 = r.slots.iter().map(|s| s.rounds).sum();
+        assert_eq!(per_slot_rounds, run.rounds);
+        let own_bits: u64 = r.slots.iter().map(|s| s.bits_sent_by_me).sum();
+        assert_eq!(own_bits, metrics.snapshot().logical_bits_by_node(0));
+    }
+}

@@ -1,0 +1,71 @@
+//! Primary rotation over the shared diagnosis state.
+
+use mvbc_core::DiagGraph;
+
+/// Picks the primary of `slot`: round-robin over the replicas that are
+/// neither isolated by the diagnosis graph nor marked as suspects by the
+/// log's dispute memory.
+///
+/// Both inputs are common knowledge at every fault-free replica (the
+/// graph is driven by `Broadcast_Single_Bit` outputs, the suspect set by
+/// deterministic rules over it), so all replicas compute the same primary
+/// without communicating.
+///
+/// When *every* active replica is a suspect the rotation falls back to
+/// the full active set rather than stalling the log; `None` only when no
+/// replica is active at all (impossible with `t < n/3` honest majority).
+pub fn primary_for_slot(slot: u64, diag: &DiagGraph, suspects: &[bool]) -> Option<usize> {
+    let active = diag.active_ids();
+    let eligible: Vec<usize> = active
+        .iter()
+        .copied()
+        .filter(|&v| !suspects.get(v).copied().unwrap_or(false))
+        .collect();
+    let pool = if eligible.is_empty() { active } else { eligible };
+    if pool.is_empty() {
+        return None;
+    }
+    Some(pool[(slot % pool.len() as u64) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_over_all_when_clean() {
+        let diag = DiagGraph::new(4, 1);
+        let suspects = vec![false; 4];
+        let order: Vec<usize> = (0..8)
+            .map(|s| primary_for_slot(s, &diag, &suspects).unwrap())
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_suspects_and_isolated() {
+        let mut diag = DiagGraph::new(4, 1);
+        diag.isolate(3);
+        let mut suspects = vec![false; 4];
+        suspects[1] = true;
+        let order: Vec<usize> = (0..4)
+            .map(|s| primary_for_slot(s, &diag, &suspects).unwrap())
+            .collect();
+        assert_eq!(order, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn all_suspect_falls_back_to_active_set() {
+        let diag = DiagGraph::new(3, 0);
+        let suspects = vec![true; 3];
+        assert_eq!(primary_for_slot(1, &diag, &suspects), Some(1));
+    }
+
+    #[test]
+    fn no_active_replicas_yields_none() {
+        let mut diag = DiagGraph::new(2, 0);
+        diag.isolate(0);
+        diag.isolate(1);
+        assert_eq!(primary_for_slot(0, &diag, &[false, false]), None);
+    }
+}

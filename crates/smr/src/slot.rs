@@ -1,0 +1,162 @@
+//! Per-slot reports and per-slot Byzantine behaviour hooks.
+
+use mvbc_broadcast::attacks::EquivocatingSource;
+use mvbc_broadcast::attacks::SilentSource;
+use mvbc_broadcast::{BroadcastHooks, NoopBroadcastHooks};
+use mvbc_netsim::NodeId;
+
+use crate::batch::Command;
+
+/// One replica's record of one committed slot.
+///
+/// Every field except `bits_sent_by_me` is identical across fault-free
+/// replicas (they are all derived from agreed protocol outputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotReport {
+    /// Slot index.
+    pub slot: u64,
+    /// The primary that proposed this slot.
+    pub primary: NodeId,
+    /// The committed batch (empty on fallback).
+    pub committed: Vec<Command>,
+    /// True when the slot committed the agreed fallback (empty batch)
+    /// because the primary was caught misbehaving or could not be used.
+    pub fallback: bool,
+    /// Whether any generation of this slot ran the diagnosis stage.
+    pub diagnosis_ran: bool,
+    /// Logical bits *this* replica sent during the slot (exact per-slot
+    /// delta; see [`mvbc_metrics::Snapshot::delta`]).
+    pub bits_sent_by_me: u64,
+    /// Synchronous rounds the slot consumed.
+    pub rounds: u64,
+}
+
+/// The agreement-relevant view of a [`SlotReport`]: every field that is
+/// guaranteed identical at fault-free replicas (everything but the local
+/// measurement `bits_sent_by_me`). Compare these across replicas to
+/// check log agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgreedSlot<'a> {
+    /// Slot index.
+    pub slot: u64,
+    /// The slot's primary.
+    pub primary: NodeId,
+    /// The committed batch.
+    pub committed: &'a [Command],
+    /// Whether the slot committed the fallback batch.
+    pub fallback: bool,
+    /// Whether diagnosis ran.
+    pub diagnosis_ran: bool,
+    /// Rounds the slot consumed.
+    pub rounds: u64,
+}
+
+impl SlotReport {
+    /// This slot's [`AgreedSlot`] view.
+    pub fn agreed(&self) -> AgreedSlot<'_> {
+        AgreedSlot {
+            slot: self.slot,
+            primary: self.primary,
+            committed: &self.committed,
+            fallback: self.fallback,
+            diagnosis_ran: self.diagnosis_ran,
+            rounds: self.rounds,
+        }
+    }
+}
+
+/// Per-replica behaviour of the replicated log: chooses the
+/// broadcast-layer hooks each slot runs under.
+///
+/// The honest implementation is [`HonestReplica`]; Byzantine replicas
+/// substitute attack hooks for the slots where they are primary.
+pub trait SmrHooks: Send {
+    /// Called at the start of every slot; returns the broadcast hooks the
+    /// replica uses for that slot's broadcast execution.
+    fn slot_hooks(&mut self, slot: u64, i_am_primary: bool) -> Box<dyn BroadcastHooks>;
+}
+
+/// A fault-free replica: honest hooks every slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HonestReplica;
+
+impl SmrHooks for HonestReplica {
+    fn slot_hooks(&mut self, _slot: u64, _i_am_primary: bool) -> Box<dyn BroadcastHooks> {
+        NoopBroadcastHooks::boxed()
+    }
+}
+
+impl HonestReplica {
+    /// Boxed honest behaviour.
+    pub fn boxed() -> Box<dyn SmrHooks> {
+        Box::new(HonestReplica)
+    }
+}
+
+/// A replica that equivocates during dispersal whenever it is primary
+/// (restricted to `on_slots` when set): the split proposal is detected,
+/// the slot falls back everywhere, and the rotation drops the replica.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EquivocatingPrimary {
+    /// Slots on which to equivocate (`None` = every primary turn).
+    pub on_slots: Option<Vec<u64>>,
+}
+
+impl SmrHooks for EquivocatingPrimary {
+    fn slot_hooks(&mut self, slot: u64, i_am_primary: bool) -> Box<dyn BroadcastHooks> {
+        let armed = i_am_primary
+            && self.on_slots.as_ref().is_none_or(|s| s.contains(&slot));
+        if armed {
+            Box::new(EquivocatingSource)
+        } else {
+            NoopBroadcastHooks::boxed()
+        }
+    }
+}
+
+/// A replica that never disperses when primary (a crashed/withholding
+/// leader): receivers detect the silence, the slot falls back, and the
+/// rotation routes around it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SilentPrimary;
+
+impl SmrHooks for SilentPrimary {
+    fn slot_hooks(&mut self, _slot: u64, i_am_primary: bool) -> Box<dyn BroadcastHooks> {
+        if i_am_primary {
+            Box::new(SilentSource)
+        } else {
+            NoopBroadcastHooks::boxed()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivocating_primary_arms_only_on_its_turn() {
+        let mut h = EquivocatingPrimary { on_slots: Some(vec![2]) };
+        // Not primary: honest hooks (mutating a dispersal symbol is a
+        // pass-through).
+        let mut payload = vec![0xAAu8];
+        assert!(h.slot_hooks(2, false).dispersal_symbol(0, 1, &mut payload));
+        assert_eq!(payload, vec![0xAA]);
+        // Primary on the armed slot: odd recipients get corrupted symbols.
+        let mut payload = vec![0xAAu8];
+        assert!(h.slot_hooks(2, true).dispersal_symbol(0, 1, &mut payload));
+        assert_eq!(payload, vec![0x55]);
+        // Primary on another slot: honest again.
+        let mut payload = vec![0xAAu8];
+        assert!(h.slot_hooks(3, true).dispersal_symbol(0, 1, &mut payload));
+        assert_eq!(payload, vec![0xAA]);
+    }
+
+    #[test]
+    fn silent_primary_suppresses_dispersal() {
+        let mut h = SilentPrimary;
+        let mut payload = vec![1u8];
+        assert!(!h.slot_hooks(0, true).dispersal_symbol(0, 1, &mut payload));
+        assert!(h.slot_hooks(0, false).dispersal_symbol(0, 1, &mut payload));
+    }
+}

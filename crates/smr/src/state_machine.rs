@@ -1,0 +1,125 @@
+//! The replicated state machine applied to committed batches.
+
+use std::collections::BTreeMap;
+
+use crate::batch::Command;
+
+/// A deterministic state machine driven by the committed log.
+///
+/// All fault-free replicas apply the same batches in the same slot order,
+/// so any implementation with deterministic `apply` keeps identical state
+/// everywhere; `digest` is how the test-suite (and operators) check that.
+pub trait StateMachine {
+    /// Applies one committed command.
+    fn apply(&mut self, cmd: &Command);
+
+    /// Order-sensitive digest of the current state.
+    fn digest(&self) -> u64;
+
+    /// Applies a committed batch in order.
+    fn apply_batch(&mut self, batch: &[Command]) {
+        for cmd in batch {
+            self.apply(cmd);
+        }
+    }
+}
+
+/// The default state machine: an ordered key-value map under `SET`
+/// semantics (last write to a key wins).
+///
+/// # Examples
+///
+/// ```
+/// use mvbc_smr::{Command, KvStore, StateMachine};
+///
+/// let mut kv = KvStore::default();
+/// kv.apply_batch(&[
+///     Command { key: 1, value: 10 },
+///     Command { key: 1, value: 11 },
+/// ]);
+/// assert_eq!(kv.get(1), Some(11));
+/// assert_eq!(kv.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<u16, u32>,
+}
+
+impl KvStore {
+    /// Current value under `key`.
+    pub fn get(&self, key: u16) -> Option<u32> {
+        self.map.get(&key).copied()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no key has been written.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (u16, u32)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl StateMachine for KvStore {
+    fn apply(&mut self, cmd: &Command) {
+        if !cmd.is_noop() {
+            self.map.insert(cmd.key, cmd.value);
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        // FNV-1a over the canonical (key-sorted) entries.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (&k, &v) in &self.map {
+            for byte in k.to_be_bytes().into_iter().chain(v.to_be_bytes()) {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics_and_digest() {
+        let mut a = KvStore::default();
+        let mut b = KvStore::default();
+        assert_eq!(a.digest(), b.digest());
+        a.apply(&Command { key: 3, value: 30 });
+        assert_ne!(a.digest(), b.digest());
+        b.apply(&Command { key: 3, value: 30 });
+        assert_eq!(a.digest(), b.digest());
+        a.apply(&Command { key: 3, value: 31 });
+        assert_eq!(a.get(3), Some(31));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn noop_is_not_applied() {
+        let mut kv = KvStore::default();
+        kv.apply(&Command { key: 0, value: 99 });
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn entries_sorted() {
+        let mut kv = KvStore::default();
+        kv.apply_batch(&[
+            Command { key: 9, value: 1 },
+            Command { key: 2, value: 2 },
+        ]);
+        let keys: Vec<u16> = kv.entries().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![2, 9]);
+    }
+}

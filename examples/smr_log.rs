@@ -1,169 +1,111 @@
-//! State-machine replication: a replicated key-value store driven by a
-//! Byzantine-broadcast command log.
+//! State-machine replication: a replicated key-value store driven by the
+//! `mvbc-smr` command log.
 //!
 //! The classic application of Byzantine broadcast (and the reason the
-//! paper's §4 extension matters in practice): a primary proposes a batch
-//! of commands, every replica delivers the *same* batch — even when the
-//! primary equivocates — and applies it to its local state machine, so
-//! all fault-free replicas stay in lock-step. Three epochs are run with
-//! a rotating primary:
+//! paper's §4 extension matters in practice): primaries rotate through
+//! the replicas proposing batches of commands, every replica commits the
+//! *same* batch per slot — even when a primary equivocates — and applies
+//! it to its local state machine, so all fault-free replicas stay in
+//! lock-step.
 //!
-//! 1. an honest primary commits a batch of `SET` commands;
-//! 2. an *equivocating* primary tries to split the replicas — the
-//!    dispersal consistency check catches it and every replica applies
-//!    the same fallback (an empty batch) instead of diverging;
-//! 3. another honest primary commits again, proving the system recovered.
+//! Unlike a naive loop of single-shot broadcasts, the whole log runs
+//! inside **one** simulation: the diagnosis graph persists across slots,
+//! so the replica that equivocates on its first primary turn is caught
+//! once and excluded from every later rotation — watch slot 1 fall back
+//! and replica 1 never lead again.
 //!
 //! ```sh
 //! cargo run -p mvbc-systests --example smr_log
 //! ```
 
-use std::collections::BTreeMap;
-
-use mvbc_broadcast::attacks::EquivocatingSource;
-use mvbc_broadcast::{simulate_broadcast, BroadcastConfig, BroadcastHooks, NoopBroadcastHooks};
 use mvbc_metrics::MetricsSink;
-
-/// One state-machine command: `SET key value`, fixed-width encoded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Command {
-    key: u16,
-    value: u32,
-}
-
-impl Command {
-    const WIRE_BYTES: usize = 6;
-
-    fn encode(&self) -> [u8; Self::WIRE_BYTES] {
-        let k = self.key.to_be_bytes();
-        let v = self.value.to_be_bytes();
-        [k[0], k[1], v[0], v[1], v[2], v[3]]
-    }
-
-    fn decode(bytes: &[u8]) -> Option<Command> {
-        if bytes.len() != Self::WIRE_BYTES {
-            return None;
-        }
-        Some(Command {
-            key: u16::from_be_bytes([bytes[0], bytes[1]]),
-            value: u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]),
-        })
-    }
-}
-
-/// Fixed-size command batch (zero-padded; key 0 = no-op) so every epoch
-/// broadcasts the same `L`.
-fn encode_batch(commands: &[Command], slots: usize) -> Vec<u8> {
-    assert!(commands.len() <= slots);
-    let mut out = Vec::with_capacity(slots * Command::WIRE_BYTES);
-    for c in commands {
-        out.extend_from_slice(&c.encode());
-    }
-    out.resize(slots * Command::WIRE_BYTES, 0);
-    out
-}
-
-fn decode_batch(bytes: &[u8]) -> Vec<Command> {
-    bytes
-        .chunks_exact(Command::WIRE_BYTES)
-        .filter_map(Command::decode)
-        .filter(|c| c.key != 0) // key 0 is padding / no-op
-        .collect()
-}
-
-/// The replicated state machine: an ordered key-value map.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct KvStore {
-    map: BTreeMap<u16, u32>,
-}
-
-impl KvStore {
-    fn apply(&mut self, batch: &[Command]) {
-        for c in batch {
-            self.map.insert(c.key, c.value);
-        }
-    }
-
-    fn digest(&self) -> u64 {
-        // Order-dependent FNV over the canonical (sorted) entries.
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for (&k, &v) in &self.map {
-            for byte in k.to_be_bytes().into_iter().chain(v.to_be_bytes()) {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        }
-        h
-    }
-}
+use mvbc_smr::{
+    simulate_smr, Command, EquivocatingPrimary, HonestReplica, SmrConfig, SmrHooks,
+};
 
 fn main() {
     let n = 4;
     let t = 1;
-    let slots = 64;
-    let l = slots * Command::WIRE_BYTES;
-    let mut replicas: Vec<KvStore> = vec![KvStore::default(); n];
+    let slots = 10;
+    let batch = 5;
+    let byz = 1usize;
+    let cfg = SmrConfig::new(n, t, slots, batch).expect("valid parameters");
 
-    println!("replicated KV store: {n} replicas, t = {t}, {slots}-command batches\n");
+    println!(
+        "replicated KV store: {n} replicas, t = {t}, {slots} slots x {batch}-command batches"
+    );
+    println!("replica {byz} equivocates on its primary turns\n");
 
-    // --- Epoch 0: honest primary 0 commits a SET batch. ---
-    let batch0: Vec<Command> = (1..=10u16).map(|k| Command { key: k, value: u32::from(k) * 100 }).collect();
-    commit_epoch(0, 0, &batch0, &mut replicas, n, t, l, false);
+    // Each replica's clients write to its own key range.
+    let workloads: Vec<Vec<Command>> = (0..n)
+        .map(|i| {
+            (0..10u16)
+                .map(|j| Command {
+                    key: (i as u16) * 100 + j + 1,
+                    value: u32::from(j) * 10 + i as u32,
+                })
+                .collect()
+        })
+        .collect();
+    let hooks: Vec<Box<dyn SmrHooks>> = (0..n)
+        .map(|i| -> Box<dyn SmrHooks> {
+            if i == byz {
+                Box::new(EquivocatingPrimary::default())
+            } else {
+                HonestReplica::boxed()
+            }
+        })
+        .collect();
 
-    // --- Epoch 1: primary 1 equivocates during dispersal. ---
-    let batch1: Vec<Command> = (1..=5u16).map(|k| Command { key: k, value: 0xDEAD }).collect();
-    commit_epoch(1, 1, &batch1, &mut replicas, n, t, l, true);
+    let metrics = MetricsSink::new();
+    let run = simulate_smr(&cfg, workloads, hooks, metrics.clone());
 
-    // --- Epoch 2: honest primary 2 commits again. ---
-    let batch2: Vec<Command> = (11..=15u16).map(|k| Command { key: k, value: u32::from(k) * 7 }).collect();
-    commit_epoch(2, 2, &batch2, &mut replicas, n, t, l, false);
-
-    // All fault-free replicas must hold identical state. (Replica 1 was
-    // Byzantine only as epoch-1 primary; its local state still tracked
-    // the agreed log, so all four agree here.)
-    let digests: Vec<u64> = replicas.iter().map(KvStore::digest).collect();
-    assert!(digests.windows(2).all(|w| w[0] == w[1]), "replicas diverged: {digests:?}");
-    println!("\nfinal state digest at every replica: {:016x}", digests[0]);
-    println!("entries: {:?}", replicas[0].map);
-}
-
-#[allow(clippy::too_many_arguments)]
-fn commit_epoch(
-    epoch: usize,
-    primary: usize,
-    batch: &[Command],
-    replicas: &mut [KvStore],
-    n: usize,
-    t: usize,
-    l: usize,
-    equivocate: bool,
-) {
-    let cfg = BroadcastConfig::new(n, t, primary, l).expect("valid parameters");
-    let value = encode_batch(batch, l / Command::WIRE_BYTES);
-    let mut hooks: Vec<Box<dyn BroadcastHooks>> =
-        (0..n).map(|_| NoopBroadcastHooks::boxed()).collect();
-    if equivocate {
-        hooks[primary] = Box::new(EquivocatingSource);
-    }
-    let run = simulate_broadcast(&cfg, value.clone(), hooks, MetricsSink::new());
-
-    // Every replica applies what *it* delivered — agreement guarantees
-    // these are identical, equivocation or not.
-    let delivered: Vec<Vec<Command>> = run.outputs.iter().map(|o| decode_batch(o)).collect();
-    for w in delivered.windows(2) {
-        assert_eq!(w[0], w[1], "epoch {epoch}: replicas delivered different batches");
-    }
-    for (replica, cmds) in replicas.iter_mut().zip(&delivered) {
-        replica.apply(cmds);
+    let honest: Vec<usize> = (0..n).filter(|&i| i != byz).collect();
+    let r = &run.reports[honest[0]];
+    for s in &r.slots {
+        let verdict = if s.fallback {
+            "equivocation caught -> common fallback (empty batch)"
+        } else {
+            "committed"
+        };
+        println!(
+            "slot {:>2}: primary {} -> {} command(s), {verdict}",
+            s.slot,
+            s.primary,
+            s.committed.len()
+        );
     }
 
-    let applied = &delivered[0];
-    let verdict = if equivocate {
-        if applied.is_empty() { "equivocation caught -> common fallback (no-op batch)" } else { "agreed on one of the primary's stories" }
-    } else if value == encode_batch(applied, l / Command::WIRE_BYTES) {
-        "committed verbatim (validity)"
-    } else {
-        "BUG: honest batch altered"
-    };
-    println!("epoch {epoch}: primary {primary}, {} command(s) -> {verdict}", applied.len());
+    // Agreement: every fault-free replica holds the identical log and the
+    // identical state machine.
+    for w in honest.windows(2) {
+        assert_eq!(
+            run.reports[w[0]].agreed_log(),
+            run.reports[w[1]].agreed_log(),
+            "replicas diverged on the log"
+        );
+        assert_eq!(run.stores[w[0]], run.stores[w[1]], "replicas diverged on state");
+    }
+    // The caught equivocator is out of the rotation for good.
+    assert!(r.suspects.contains(&byz));
+    assert!(
+        r.slots
+            .iter()
+            .skip_while(|s| !s.fallback)
+            .skip(1)
+            .all(|s| s.primary != byz),
+        "caught primary led again"
+    );
+
+    let snap = metrics.snapshot();
+    println!(
+        "\ncommitted {} command(s); {} fallback slot(s); suspects: {:?}",
+        r.committed_commands, r.fallback_slots, r.suspects
+    );
+    println!(
+        "{} bits over {} rounds; final state digest at every replica: {:016x}",
+        snap.total_logical_bits(),
+        run.rounds,
+        r.digest
+    );
 }
