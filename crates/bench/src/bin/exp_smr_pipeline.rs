@@ -1,0 +1,130 @@
+//! SMR pipelining experiment: simulation rounds and wall-clock of the
+//! replicated log vs pipeline depth.
+//!
+//! The same 1600 commands are committed in the same 100 batches
+//! (n = 7, t = 2, fault-free) at depths W ∈ {1, 2, 4, 8}. The pipelined
+//! scheduler interleaves up to `W` broadcast slots per synchronous round
+//! (one simulation lane per slot), so total rounds divide by ≈ W while —
+//! by construction — the committed log and the final `KvStore` digest are
+//! identical at every depth (asserted here).
+//!
+//! Writes `results/BENCH_pipeline.json` and fails loudly unless depth 4
+//! cuts total rounds at least 3x vs sequential with identical digests.
+//!
+//! ```sh
+//! cargo run --release -p mvbc-bench --bin exp_smr_pipeline
+//! ```
+
+use std::time::Instant;
+
+use mvbc_bench::Table;
+use mvbc_metrics::MetricsSink;
+use mvbc_smr::{simulate_smr, synthetic_workloads, Command, HonestReplica, SmrConfig, SmrHooks};
+
+const N: usize = 7;
+const T: usize = 2;
+const SLOTS: usize = 100;
+const BATCH: usize = 16;
+const SEED: u64 = 11;
+const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+
+struct Measured {
+    depth: usize,
+    rounds: u64,
+    wall_ms: f64,
+    bits: u64,
+    commands: u64,
+    digest: u64,
+    restarts: u64,
+}
+
+fn run_at_depth(depth: usize) -> Measured {
+    let cfg = SmrConfig::new(N, T, SLOTS, BATCH)
+        .expect("valid parameters")
+        .with_pipeline(depth);
+    let workloads = synthetic_workloads(N, SLOTS.div_ceil(N) * BATCH, SEED);
+    let hooks: Vec<Box<dyn SmrHooks>> = (0..N).map(|_| HonestReplica::boxed()).collect();
+    let metrics = MetricsSink::new();
+    let start = Instant::now();
+    let run = simulate_smr(&cfg, workloads, hooks, metrics.clone());
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    for w in run.reports.windows(2) {
+        assert_eq!(w[0].agreed_log(), w[1].agreed_log(), "harness: replicas diverged");
+    }
+    let r = &run.reports[0];
+    assert_eq!(r.fallback_slots, 0, "harness: fault-free run fell back");
+    Measured {
+        depth,
+        rounds: run.rounds,
+        wall_ms,
+        bits: metrics.snapshot().total_logical_bits(),
+        commands: r.committed_commands,
+        digest: r.digest,
+        restarts: r.restarts,
+    }
+}
+
+fn main() {
+    let runs: Vec<Measured> = DEPTHS.iter().map(|&w| run_at_depth(w)).collect();
+    let seq = &runs[0];
+    for m in &runs[1..] {
+        assert_eq!(m.digest, seq.digest, "depth {} changed the final state", m.depth);
+        assert_eq!(m.commands, seq.commands, "depth {} changed the committed commands", m.depth);
+        assert_eq!(m.bits, seq.bits, "depth {} changed the traffic (honest runs never discard)", m.depth);
+    }
+
+    let mut table = Table::new(&[
+        "depth W",
+        "rounds",
+        "speedup",
+        "wall ms",
+        "restarts",
+        "commands",
+        "digest",
+    ]);
+    for m in &runs {
+        table.row(vec![
+            m.depth.to_string(),
+            m.rounds.to_string(),
+            format!("{:.2}x", seq.rounds as f64 / m.rounds as f64),
+            format!("{:.0}", m.wall_ms),
+            m.restarts.to_string(),
+            m.commands.to_string(),
+            format!("{:016x}", m.digest),
+        ]);
+    }
+    println!(
+        "# E17: SMR concurrent-slot pipelining (n = {N}, t = {T}, {SLOTS} slots x {BATCH} commands of {} bytes)\n",
+        Command::WIRE_BYTES
+    );
+    println!("{}", table.to_markdown());
+    let w4 = runs.iter().find(|m| m.depth == 4).expect("depth 4 measured");
+    let speedup4 = seq.rounds as f64 / w4.rounds as f64;
+    println!(
+        "pipelining: depth 4 runs the log in {} rounds vs {} sequential ({speedup4:.2}x) with identical digests",
+        w4.rounds, seq.rounds
+    );
+
+    let per_depth: Vec<String> = runs
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{ \"depth\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"logical_bits\": {}, \"restarts\": {}, \"digest\": \"{:016x}\" }}",
+                m.depth, m.rounds, m.wall_ms, m.bits, m.restarts, m.digest
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"smr_pipeline\",\n  \"config\": {{ \"n\": {N}, \"t\": {T}, \"slots\": {SLOTS}, \"batch_commands\": {BATCH}, \"total_commands\": {} }},\n  \"runs\": [\n{}\n  ],\n  \"round_speedup_depth4\": {speedup4:.2},\n  \"digests_identical\": true\n}}\n",
+        seq.commands,
+        per_depth.join(",\n"),
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_pipeline.json", json).expect("write results/BENCH_pipeline.json");
+    println!("\nwrote results/BENCH_pipeline.json");
+
+    assert!(
+        speedup4 >= 3.0,
+        "pipelining regression: depth 4 only {speedup4:.2}x fewer rounds (expected >= 3x)"
+    );
+}

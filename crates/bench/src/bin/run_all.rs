@@ -1,4 +1,4 @@
-//! Runs every experiment (E1-E15) in sequence, writing all CSVs into
+//! Runs every experiment (E1-E17) in sequence, writing all CSVs into
 //! `results/`. Pass `--quick` to use the reduced parameter grids.
 //!
 //! ```sh
@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_attack_rate",
     "exp_kappa",
     "exp_smr_throughput",
+    "exp_smr_pipeline",
 ];
 
 fn main() {

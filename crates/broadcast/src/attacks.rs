@@ -137,6 +137,42 @@ impl BroadcastHooks for FalseDetector {
     }
 }
 
+/// A false accuser that *frames the source*: it forces the diagnosis
+/// stage (`Detected = true`) and then lies in its trust vector, claiming
+/// the source's dispersal did not match its claimed data. The diagnosis
+/// removes the edge (accuser, source) — which only proves one endpoint
+/// faulty, so a log-level rotation that evicts primaries on any incident
+/// edge loss (see `mvbc-smr`) evicts the fault-free source. Each frame
+/// burns one of the accuser's `t + 1` disposable edges, and its
+/// `(t + 1)`-th accusation isolates it, so `t` colluders frame at most
+/// `t²` fault-free primaries over a whole log.
+///
+/// The frame fires only on generation 0 of an execution: re-accusing a
+/// source whose edge is already gone removes nothing, and a diagnosis
+/// that removes nothing isolates every claimed detector (the no-removal
+/// rule) — a smart adversary accuses exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FramingAccuser;
+
+impl BsbHooks for FramingAccuser {}
+
+impl BroadcastHooks for FramingAccuser {
+    fn detected_flag(&mut self, g: usize, flag: &mut bool) {
+        if g == 0 {
+            *flag = true;
+        }
+    }
+
+    fn trust_bits(&mut self, g: usize, bits: &mut Vec<bool>) {
+        // bits[0] is "I trust the source"; the frame-up is the lie.
+        if g == 0 {
+            if let Some(first) = bits.first_mut() {
+                *first = false;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +212,25 @@ mod tests {
         let mut f = false;
         a.detected_flag(0, &mut f);
         assert!(f);
+    }
+
+    #[test]
+    fn framing_accuser_forces_diagnosis_and_accuses_source() {
+        let mut a = FramingAccuser;
+        let mut f = false;
+        a.detected_flag(0, &mut f);
+        assert!(f);
+        let mut trust = vec![true, true, true];
+        a.trust_bits(0, &mut trust);
+        assert_eq!(trust, vec![false, true, true], "only the source is framed");
+        // Later generations stay honest: a repeat accusation would remove
+        // nothing and trip the no-removal isolation rule.
+        let mut f2 = false;
+        a.detected_flag(1, &mut f2);
+        assert!(!f2);
+        let mut trust2 = vec![true, true];
+        a.trust_bits(1, &mut trust2);
+        assert_eq!(trust2, vec![true, true]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! One generation of the broadcast protocol: dispersal, echo/checking,
 //! and diagnosis.
 
-use mvbc_bsb::{BsbConfig, BsbDriver, BsbInstance, BsbValueSpec};
+use mvbc_bsb::{BsbConfig, BsbDriver, BsbInstance, BsbValueSpec, SessionTags};
 use mvbc_core::DiagGraph;
 use mvbc_netsim::bits::{pack_bits, unpack_bits};
 use mvbc_netsim::{scoped_tag, NodeCtx};
@@ -15,6 +15,11 @@ use crate::hooks::BroadcastHooks;
 /// uses the scope `"broadcast"`; slot-indexed callers (the `mvbc-smr`
 /// replicated log) scope per slot (`"smr.slot17"`, …) so a Byzantine
 /// processor cannot replay one slot's messages into another.
+///
+/// The BSB-derived tags of each session are interned here too — **once
+/// per slot execution** — so the per-generation [`BsbConfig`]s are built
+/// with [`BsbConfig::with_tags`] and steady-state sends never touch the
+/// global interning table (no formatting, no locking on the hot path).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SlotTags {
     pub dispersal: &'static str,
@@ -23,17 +28,29 @@ pub(crate) struct SlotTags {
     pub data: &'static str,
     pub claims: &'static str,
     pub trust: &'static str,
+    pub detected_session: SessionTags,
+    pub data_session: SessionTags,
+    pub claims_session: SessionTags,
+    pub trust_session: SessionTags,
 }
 
 impl SlotTags {
     pub(crate) fn new(scope: &str) -> Self {
+        let detected = scoped_tag(scope, "checking.detected");
+        let data = scoped_tag(scope, "diagnosis.data");
+        let claims = scoped_tag(scope, "diagnosis.claims");
+        let trust = scoped_tag(scope, "diagnosis.trust");
         SlotTags {
             dispersal: scoped_tag(scope, "dispersal.symbol"),
             echo: scoped_tag(scope, "echo.symbol"),
-            detected: scoped_tag(scope, "checking.detected"),
-            data: scoped_tag(scope, "diagnosis.data"),
-            claims: scoped_tag(scope, "diagnosis.claims"),
-            trust: scoped_tag(scope, "diagnosis.trust"),
+            detected,
+            data,
+            claims,
+            trust,
+            detected_session: SessionTags::derive(detected),
+            data_session: SessionTags::derive(data),
+            claims_session: SessionTags::derive(claims),
+            trust_session: SessionTags::derive(trust),
         }
     }
 }
@@ -202,7 +219,7 @@ pub(crate) fn run_broadcast_generation(
         hooks.detected_flag(g, &mut detected);
     }
     let det_sources: Vec<usize> = active.iter().copied().filter(|&v| v != src).collect();
-    let bsb_det = BsbConfig::new(t, tags.detected, participants.clone());
+    let bsb_det = BsbConfig::with_tags(t, tags.detected, tags.detected_session, participants.clone());
     let det_instances: Vec<BsbInstance> = det_sources
         .iter()
         .map(|&v| BsbInstance {
@@ -238,7 +255,7 @@ pub(crate) fn run_broadcast_generation(
     if me == src {
         hooks.data_bits(g, &mut my_data_bits);
     }
-    let bsb_data = BsbConfig::new(t, tags.data, participants.clone());
+    let bsb_data = BsbConfig::with_tags(t, tags.data, tags.data_session, participants.clone());
     let data_spec = [BsbValueSpec {
         source: src,
         bits: data_bits_len,
@@ -268,7 +285,7 @@ pub(crate) fn run_broadcast_generation(
     if i_am_echo {
         hooks.echo_claim_bits(g, &mut my_claim);
     }
-    let bsb_claims = BsbConfig::new(t, tags.claims, participants.clone());
+    let bsb_claims = BsbConfig::with_tags(t, tags.claims, tags.claims_session, participants.clone());
     let claim_specs: Vec<BsbValueSpec> = e_set
         .iter()
         .map(|&e| BsbValueSpec {
@@ -303,7 +320,7 @@ pub(crate) fn run_broadcast_generation(
         });
     }
     hooks.trust_bits(g, &mut trust);
-    let bsb_trust = BsbConfig::new(t, tags.trust, participants.clone());
+    let bsb_trust = BsbConfig::with_tags(t, tags.trust, tags.trust_session, participants.clone());
     let trust_specs: Vec<BsbValueSpec> = active
         .iter()
         .map(|&v| BsbValueSpec {

@@ -165,7 +165,7 @@ pub fn run_dolev_strong(
     assert_eq!(config.participants.len(), n, "participants mask length");
     debug_assert_eq!(input.is_some(), ctx.id() == source);
     let me = ctx.id();
-    let tag = mvbc_metrics::intern_tag(&format!("{}.ds", config.session));
+    let tag = config.tags.ds;
 
     // Rounds are counted relative to this sub-protocol's start so the
     // broadcast composes correctly after earlier protocol phases.
@@ -331,7 +331,7 @@ pub fn run_ds_batch(
     assert_eq!(config.participants.len(), n, "participants mask length");
     let me = ctx.id();
     let participating = config.participants[me];
-    let tag = mvbc_metrics::intern_tag(&format!("{}.dsb", config.session));
+    let tag = config.tags.dsb;
     let start_round = ctx.round();
 
     // accepted[inst][bit] = Some(signers we accepted it with)

@@ -31,7 +31,6 @@
 //! to the strict majority of their children (default `false`), and the
 //! resolved root is the decision.
 
-use mvbc_metrics::intern_tag;
 use mvbc_netsim::bits::{pack_bits, unpack_bits};
 use mvbc_netsim::{NodeCtx, NodeId};
 
@@ -149,7 +148,7 @@ pub fn run_eig_batch(
     let t = config.t;
     let count = initial.len();
     let participating = config.participants[me];
-    let tag = intern_tag(&format!("{}.bsb.eig", config.session));
+    let tag = config.tags.eig;
 
     let tree = EigTree::new(n, t);
     // tree_vals[r][label_idx * count + inst] = stored bit. Missing

@@ -14,7 +14,6 @@
 //! Total: `Θ(n² · (t+1))` bits per instance — the workspace's measured
 //! `B` (see the crate docs for how this relates to the paper's `Θ(n²)`).
 
-use mvbc_metrics::intern_tag;
 use mvbc_netsim::bits::{pack_bits, pack_crumbs, unpack_bits, unpack_crumbs};
 use mvbc_netsim::{Inbox, NodeCtx, NodeId};
 
@@ -52,9 +51,9 @@ pub fn run_king_batch(
     let count = initial.len();
     let participating = config.participants[me];
 
-    let val_tag = intern_tag(&format!("{}.bsb.value", config.session));
-    let prop_tag = intern_tag(&format!("{}.bsb.propose", config.session));
-    let king_tag = intern_tag(&format!("{}.bsb.king", config.session));
+    let val_tag = config.tags.value;
+    let prop_tag = config.tags.propose;
+    let king_tag = config.tags.king;
 
     let mut values = initial;
 

@@ -75,6 +75,50 @@ use mvbc_metrics::intern_tag;
 use mvbc_netsim::bits::{pack_bits, unpack_bits};
 use mvbc_netsim::{NodeCtx, NodeId};
 
+/// The interned message tags of one `Broadcast_Single_Bit` session, one
+/// per substrate wire stage, derived from the session name **once**.
+///
+/// Interning goes through a global table (a mutex plus an allocation per
+/// formatted lookup), which must stay off the send path: a multi-slot
+/// protocol like the `mvbc-smr` replicated log runs thousands of BSB
+/// batches, and re-deriving tags per batch made every steady-state send
+/// pay for formatting and locking. Deriving a `SessionTags` when the
+/// session is named — and carrying it inside [`BsbConfig`] — makes every
+/// subsequent send a plain `&'static str` load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTags {
+    /// Round-0 source multicast (`<session>.bsb.src`).
+    pub src: &'static str,
+    /// Phase-King value round (`<session>.bsb.value`).
+    pub value: &'static str,
+    /// Phase-King proposal round (`<session>.bsb.propose`).
+    pub propose: &'static str,
+    /// Phase-King king round (`<session>.bsb.king`).
+    pub king: &'static str,
+    /// EIG relay rounds (`<session>.bsb.eig`).
+    pub eig: &'static str,
+    /// Dolev-Strong single-instance relays (`<session>.ds`).
+    pub ds: &'static str,
+    /// Dolev-Strong batched relays (`<session>.dsb`).
+    pub dsb: &'static str,
+}
+
+impl SessionTags {
+    /// Interns every derived tag of `session` (the only point where this
+    /// session's tags pay the interning cost).
+    pub fn derive(session: &str) -> Self {
+        SessionTags {
+            src: intern_tag(&format!("{session}.bsb.src")),
+            value: intern_tag(&format!("{session}.bsb.value")),
+            propose: intern_tag(&format!("{session}.bsb.propose")),
+            king: intern_tag(&format!("{session}.bsb.king")),
+            eig: intern_tag(&format!("{session}.bsb.eig")),
+            ds: intern_tag(&format!("{session}.ds")),
+            dsb: intern_tag(&format!("{session}.dsb")),
+        }
+    }
+}
+
 /// Static parameters of a batch of broadcast instances.
 #[derive(Debug, Clone)]
 pub struct BsbConfig {
@@ -83,6 +127,8 @@ pub struct BsbConfig {
     /// Session tag; metric tags and message tags derive from it, so two
     /// batches in flight must use distinct sessions.
     pub session: &'static str,
+    /// The session's pre-interned wire tags (see [`SessionTags`]).
+    pub tags: SessionTags,
     /// `participants[i]` is false when processor `i` has been isolated by
     /// the diagnosis graph: no messages are sent to it and its messages
     /// are ignored. Fault-free processors are always participants.
@@ -90,11 +136,26 @@ pub struct BsbConfig {
 }
 
 impl BsbConfig {
-    /// Convenience constructor.
+    /// Convenience constructor; derives (and interns) the session's wire
+    /// tags. Callers that run many batches under the same session should
+    /// derive a [`SessionTags`] once and use [`BsbConfig::with_tags`].
     pub fn new(t: usize, session: &'static str, participants: Vec<bool>) -> Self {
+        Self::with_tags(t, session, SessionTags::derive(session), participants)
+    }
+
+    /// As [`BsbConfig::new`] with pre-derived tags: no interning, no
+    /// formatting, no locking — the hot-path constructor for per-slot /
+    /// per-generation protocols.
+    pub fn with_tags(
+        t: usize,
+        session: &'static str,
+        tags: SessionTags,
+        participants: Vec<bool>,
+    ) -> Self {
         BsbConfig {
             t,
             session,
+            tags,
             participants,
         }
     }
@@ -167,7 +228,7 @@ pub(crate) fn source_round_initial(
     let me = ctx.id();
     let n = ctx.n();
     let participating = config.participants[me];
-    let src_tag = intern_tag(&format!("{}.bsb.src", config.session));
+    let src_tag = config.tags.src;
 
     // Round 0: each source sends its instances' bits to every participant.
     let my_sourced: Vec<usize> = (0..instances.len())

@@ -12,6 +12,7 @@ usage:
                  [--attack none|equivocate|silent-source|lying-echo]
   mvbc smr       --n <N> --t <T> --slots <S> [--batch <CMDS>] [--batch-bytes <B>]
                  [--attack none|equivocate|silent] [--byz <ID>] [--seed <N>]
+                 [--pipeline <W>] [--round-timeout-secs <SECS>]
   mvbc info      --n <N> --t <T> --l <BYTES>
   mvbc soak      [--runs <N>] [--seed <N>]
 
@@ -30,7 +31,11 @@ flags:
   --slots    number of replicated-log slots (smr only)
   --batch    max commands per slot batch (smr only, default 8)
   --batch-bytes  byte budget per slot batch (smr only, default unbounded)
-  --byz      Byzantine replica id (smr only, default n-1)";
+  --byz      Byzantine replica id (smr only, default n-1)
+  --pipeline number of log slots in flight concurrently (smr only, default 1;
+             committed log is identical at every depth)
+  --round-timeout-secs  coordinator wedge-detection timeout (smr only,
+             default 60; raise for long logs on slow machines)";
 
 /// `Broadcast_Single_Bit` substrate selection (paper §4's seam).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +146,10 @@ pub enum Command {
         attack: SmrAttack,
         /// The Byzantine replica (when an attack is selected).
         byz: usize,
+        /// Pipeline depth: log slots in flight concurrently.
+        pipeline: usize,
+        /// Coordinator wedge-detection timeout in seconds.
+        round_timeout_secs: Option<u64>,
     },
     /// Randomized soak: many consensus runs with random parameters,
     /// inputs and adversaries, asserting the paper's properties on each.
@@ -217,6 +226,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     }
     if sub == "smr" {
         let n = flags.required_usize("--n")?;
+        let pipeline = flags.usize_of("--pipeline")?.unwrap_or(1);
+        if pipeline == 0 {
+            return Err(err("--pipeline expects a depth of at least 1"));
+        }
         return Ok(Command::Smr {
             n,
             t: flags.required_usize("--t")?,
@@ -231,6 +244,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 other => return Err(err(format!("unknown smr attack '{other}'"))),
             },
             byz: flags.usize_of("--byz")?.unwrap_or(n.saturating_sub(1)),
+            pipeline,
+            round_timeout_secs: flags.usize_of("--round-timeout-secs")?.map(|s| s as u64),
         });
     }
     let n = flags.required_usize("--n")?;
@@ -350,6 +365,8 @@ mod tests {
                 seed: 1,
                 attack: SmrAttack::None,
                 byz: 3,
+                pipeline: 1,
+                round_timeout_secs: None,
             }
         );
         let cmd = parse(&argv(
@@ -366,6 +383,24 @@ mod tests {
         }
         assert!(parse(&argv("smr --n 4 --t 1")).is_err()); // missing --slots
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --attack bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_smr_pipeline_and_timeout() {
+        let cmd = parse(&argv(
+            "smr --n 7 --t 2 --slots 100 --pipeline 4 --round-timeout-secs 300",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Smr { pipeline, round_timeout_secs, .. } => {
+                assert_eq!(pipeline, 4);
+                assert_eq!(round_timeout_secs, Some(300));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --pipeline 0")).is_err());
+        assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --pipeline x")).is_err());
+        assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --round-timeout-secs x")).is_err());
     }
 
     #[test]

@@ -36,9 +36,18 @@ pub fn run(cmd: Command) {
         Command::Broadcast { n, t, l, d, source, seed, attack } => {
             broadcast(n, t, l, d, source, seed, attack)
         }
-        Command::Smr { n, t, slots, batch, batch_bytes, seed, attack, byz } => {
-            smr(n, t, slots, batch, batch_bytes, seed, attack, byz)
-        }
+        Command::Smr {
+            n,
+            t,
+            slots,
+            batch,
+            batch_bytes,
+            seed,
+            attack,
+            byz,
+            pipeline,
+            round_timeout_secs,
+        } => smr(n, t, slots, batch, batch_bytes, seed, attack, byz, pipeline, round_timeout_secs),
         Command::Info { n, t, l } => info(n, t, l),
         Command::Soak { runs, seed } => soak(runs, seed),
     }
@@ -309,15 +318,19 @@ fn smr(
     seed: u64,
     attack: SmrAttack,
     byz: usize,
+    pipeline: usize,
+    round_timeout_secs: Option<u64>,
 ) {
-    let cfg = match batch_bytes {
+    let mut cfg = match batch_bytes {
         Some(b) => SmrConfig::with_batch_bytes(n, t, slots, batch, b),
         None => SmrConfig::new(n, t, slots, batch),
     }
     .unwrap_or_else(|e| {
         eprintln!("invalid parameters: {e}");
         std::process::exit(2);
-    });
+    })
+    .with_pipeline(pipeline.max(1));
+    cfg.round_timeout = round_timeout_secs.map(std::time::Duration::from_secs);
     if byz >= n {
         eprintln!("invalid parameters: --byz {byz} is out of range");
         std::process::exit(2);
@@ -349,10 +362,11 @@ fn smr(
     let run = simulate_smr(&cfg, workloads, hooks, metrics.clone());
 
     println!(
-        "smr: n = {n}, t = {t}, {slots} slot(s), batch = {} command(s) ({} bytes/slot, D = {} bytes)",
+        "smr: n = {n}, t = {t}, {slots} slot(s), batch = {} command(s) ({} bytes/slot, D = {} bytes), pipeline depth {}",
         cfg.batch_capacity(),
         cfg.slot_bytes(),
         cfg.resolved_gen_bytes(),
+        cfg.pipeline,
     );
     println!("attack: {attack:?}; Byzantine replicas: {faulty:?}");
     let honest: Vec<usize> = (0..n).filter(|i| !faulty.contains(i)).collect();
@@ -371,6 +385,12 @@ fn smr(
         r.digest,
     );
     println!("suspects (out of rotation): {:?}; isolated: {:?}", r.suspects, r.isolated);
+    if cfg.pipeline > 1 {
+        println!(
+            "pipelining: {} slot attempt(s) discarded by dispute-state changes (committed log is identical to a sequential run)",
+            r.restarts,
+        );
+    }
     let snap = metrics.snapshot();
     let bits = snap.total_logical_bits();
     println!(

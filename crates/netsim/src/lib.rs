@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod lanes;
 pub mod trace;
 
 use std::fmt;
@@ -361,9 +362,21 @@ pub fn run_simulation_traced<O: Send + 'static>(
             let mut submissions: Vec<Option<Vec<Outgoing>>> = (0..n).map(|_| None).collect();
             let mut waiting = active_count;
             while waiting > 0 {
-                let msg = coord_rx
-                    .recv_timeout(config.round_timeout)
-                    .expect("simulation wedged: a node stopped participating in rounds");
+                let msg = match coord_rx.recv_timeout(config.round_timeout) {
+                    Ok(msg) => msg,
+                    Err(e) => {
+                        let missing: Vec<NodeId> = (0..n)
+                            .filter(|&i| active[i] && submissions[i].is_none())
+                            .collect();
+                        panic!(
+                            "simulation wedged in round {}: node(s) {missing:?} never submitted \
+                             within {:?} ({waiting} of {active_count} active node(s) outstanding, \
+                             channel state: {e:?})",
+                            rounds + 1,
+                            config.round_timeout,
+                        );
+                    }
+                };
                 match msg {
                     CoordMsg::Submit { from, outgoing } => {
                         assert!(
@@ -663,6 +676,29 @@ mod tests {
             .collect();
         let res = run_simulation(cfg, metrics, logics);
         assert_eq!(res.outputs, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation wedged in round 2: node(s) [1] never submitted")]
+    fn wedge_panic_names_missing_nodes_and_round() {
+        // Node 1 completes round 1 and then stalls (sleeps past the
+        // timeout before finishing); node 0 keeps going. The coordinator
+        // must name the stalled node and the wedged round.
+        let metrics = MetricsSink::new();
+        let logics: Vec<NodeLogic<()>> = (0..2)
+            .map(|id| {
+                Box::new(move |ctx: &mut NodeCtx| {
+                    ctx.end_round();
+                    if id == 1 {
+                        std::thread::sleep(Duration::from_millis(400));
+                    } else {
+                        ctx.end_round();
+                    }
+                }) as NodeLogic<()>
+            })
+            .collect();
+        let cfg = SimConfig::new(2).with_round_timeout(Duration::from_millis(50));
+        let _ = run_simulation(cfg, metrics, logics);
     }
 
     #[test]

@@ -1,16 +1,19 @@
-//! The replicated-log engine: many broadcast slots in one simulation.
+//! The replicated-log engine: many broadcast slots in one simulation,
+//! sequentially or pipelined through a window of concurrent slots.
 
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Duration;
 
-use mvbc_broadcast::{broadcast_optimal_d_bits, run_broadcast_slot, BroadcastConfig};
+use mvbc_broadcast::{broadcast_optimal_d_bits, run_broadcast_slot, BroadcastConfig, BroadcastReport};
 use mvbc_bsb::{BsbDriver, PhaseKingDriver};
 use mvbc_core::DiagGraph;
 use mvbc_metrics::MetricsSink;
+use mvbc_netsim::lanes::{LaneId, LaneMux};
 use mvbc_netsim::{run_simulation, slot_scope, NodeCtx, NodeLogic, SimConfig};
 
 use crate::batch::{decode_batch, encode_batch, BatchBuilder, Command};
-use crate::primary::primary_for_slot;
+use crate::primary::{plan_for_slot, SlotPlan};
 use crate::slot::{AgreedSlot, SlotReport, SmrHooks};
 use crate::state_machine::{KvStore, StateMachine};
 
@@ -77,6 +80,13 @@ pub struct SmrConfig {
     /// (`None` = the simulator default). Long logs on slow machines can
     /// raise it.
     pub round_timeout: Option<Duration>,
+    /// Pipeline depth `W`: how many slots may be in flight concurrently
+    /// inside the single simulation. `1` (the default) runs slots
+    /// back-to-back; larger depths interleave up to `W` broadcast slots
+    /// per synchronous round, dividing total rounds by up to `W` while
+    /// committing the **exact same log** (see
+    /// [`run_replicated_log_pipelined`]).
+    pub pipeline: usize,
 }
 
 impl SmrConfig {
@@ -119,7 +129,20 @@ impl SmrConfig {
             batch_bytes,
             gen_bytes: None,
             round_timeout: None,
+            pipeline: 1,
         })
+    }
+
+    /// Returns the configuration with pipeline depth `w` (see
+    /// [`SmrConfig::pipeline`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w == 0` (the log needs at least one slot in flight).
+    pub fn with_pipeline(mut self, w: usize) -> Self {
+        assert!(w >= 1, "pipeline depth must be at least 1");
+        self.pipeline = w;
+        self
     }
 
     /// Commands per slot under both budgets.
@@ -188,6 +211,12 @@ pub struct SmrReport {
     /// Replicas excluded from primary rotation by the end of the run
     /// (isolated or caught misbehaving as primary).
     pub suspects: Vec<usize>,
+    /// Slot attempts discarded by the pipelined scheduler because a
+    /// commit changed the shared dispute state while they were in flight
+    /// (always `0` for sequential runs). Discards cost extra traffic and
+    /// rounds but never reach the log: every *committed* slot ran against
+    /// exactly the sequential state.
+    pub restarts: u64,
 }
 
 impl SmrReport {
@@ -215,13 +244,19 @@ impl SmrReport {
 /// so a Byzantine accuser can frame a fault-free primary (forcing its
 /// slot to fall back and evicting it from rotation) at the price of one
 /// of its own `t + 1` disposable edges. The cost is bounded by the log's
-/// global dispute budget: `t` Byzantine replicas can evict at most
-/// `t(t + 1)` primaries before they are all isolated, and if every
-/// active replica ends up suspected the rotation falls back to the full
-/// active set, so the log never stalls. A framed fault-free primary
-/// re-queues its batch and proposes it again if the rotation returns to
-/// it (it always does in the all-suspect fallback); until then those
-/// clients' commands stay pending.
+/// global dispute budget: each Byzantine replica's `(t + 1)`-th
+/// accusation isolates it, so `t` colluders frame at most `t²` fault-free
+/// primaries over the whole log. If every active replica nevertheless
+/// ends up suspected, the log enters **degraded mode**
+/// ([`SlotPlan::DegradedEmpty`](crate::SlotPlan::DegradedEmpty)): no
+/// suspect regains proposal rights — in particular a caught equivocator
+/// is never re-elected — and every remaining slot commits the agreed
+/// empty batch at every fault-free replica, deterministically and with no
+/// broadcast at all. A framed fault-free primary re-queues its batch and
+/// proposes it again if the rotation returns to it while non-degraded;
+/// until then those clients' commands stay pending (in degraded mode the
+/// log stays safe and live for empty slots, sacrificing only progress on
+/// client commands).
 pub fn run_replicated_log<S: StateMachine>(
     ctx: &mut NodeCtx,
     cfg: &SmrConfig,
@@ -244,8 +279,16 @@ pub fn run_replicated_log<S: StateMachine>(
             // replicas never land here (Lemma 4).
             break;
         }
-        let Some(primary) = primary_for_slot(slot, &diag, &suspects) else {
-            break;
+        let primary = match plan_for_slot(slot, &diag, &suspects) {
+            SlotPlan::Stall => break,
+            SlotPlan::DegradedEmpty(nominal) => {
+                // Every active replica is suspect: common knowledge, so
+                // every fault-free replica commits the agreed empty batch
+                // locally — no suspect is handed proposal rights.
+                slots.push(SlotReport::degraded(slot, nominal));
+                continue;
+            }
+            SlotPlan::Lead(p) => p,
         };
         let bcfg = cfg.broadcast_config(primary);
         let proposal: Option<Vec<u8>> =
@@ -300,6 +343,19 @@ pub fn run_replicated_log<S: StateMachine>(
         });
     }
 
+    finish_report(cfg, slots, &diag, &suspects, 0, state)
+}
+
+/// Assembles the final [`SmrReport`] from the end-of-run state (shared by
+/// the sequential and pipelined engines).
+fn finish_report<S: StateMachine>(
+    cfg: &SmrConfig,
+    slots: Vec<SlotReport>,
+    diag: &DiagGraph,
+    suspects: &[bool],
+    restarts: u64,
+    state: &S,
+) -> SmrReport {
     let committed_commands = slots.iter().map(|s| s.committed.len() as u64).sum();
     let fallback_slots = slots.iter().filter(|s| s.fallback).count() as u64;
     SmrReport {
@@ -310,8 +366,270 @@ pub fn run_replicated_log<S: StateMachine>(
         suspects: (0..cfg.n)
             .filter(|&v| suspects[v] || diag.is_isolated(v))
             .collect(),
+        restarts,
         slots,
     }
+}
+
+/// One in-flight slot attempt of the pipelined scheduler (or an
+/// instantly-resolved degraded slot, which owns no lane).
+struct Flight {
+    primary: usize,
+    /// Shared-state version this attempt was proposed under; stale
+    /// attempts (version < the current one) are discarded, never
+    /// committed.
+    version: u64,
+    degraded: bool,
+    lane: Option<LaneId>,
+    /// The batch this replica popped for its own proposal (requeued if
+    /// the attempt is discarded or the slot falls back).
+    my_batch: Option<Vec<Command>>,
+    /// `diag.trusts(primary, x)` at proposal time (for the caught rule).
+    pre_trust: Vec<bool>,
+    outcome: Option<(BroadcastReport, DiagGraph)>,
+    rounds: u64,
+    bits: u64,
+}
+
+/// Runs the replicated log with up to [`SmrConfig::pipeline`] slots in
+/// flight concurrently — the pipelined counterpart of
+/// [`run_replicated_log`], committing the **exact same log**.
+///
+/// # How the pipeline stays sequential-equivalent
+///
+/// Each in-flight slot runs the unmodified [`run_broadcast_slot`] on its
+/// own [`lane`](mvbc_netsim::lanes) against a *clone* of the diagnosis
+/// graph taken at proposal time, so up to `W` slots share every
+/// synchronous round (the per-slot tag scopes already prevent
+/// cross-delivery). Commits apply strictly in slot order. The shared
+/// dispute state (diagnosis graph + suspect set + this replica's pending
+/// queue) carries a version counter: a commit that changes any of it —
+/// a caught primary, a removed edge, an isolation — bumps the version
+/// and **discards every other in-flight attempt** (their popped batches
+/// are returned to the queue in order, their lanes drain in the
+/// background, and the slots are re-proposed under the updated state
+/// with a fresh attempt scope `smr.slot<S>.a<K>`).
+///
+/// The invariant this buys: the attempt that *commits* slot `s` was
+/// proposed under exactly the post-slot-`(s-1)` state — the same
+/// primary, the same diagnosis snapshot, the same pending batch as the
+/// sequential engine — so per-slot reports, the committed log, and the
+/// state digest are identical to a `pipeline = 1` run, under any attack
+/// schedule. Fault-free steady state never discards (the graph only
+/// changes when a diagnosis runs), so honest logs pipeline at full
+/// depth, dividing total rounds by up to `W`; attack slots pay discarded
+/// work bounded by the log's global dispute budget. Diagnosis updates
+/// from slot `s` take effect for the first slot *proposed after `s`
+/// commits*, which is exactly the sequential rule.
+///
+/// `make_driver` supplies one fresh `Broadcast_Single_Bit` driver per
+/// slot attempt (each lane needs its own). [`SmrHooks::slot_hooks`] may
+/// be called more than once per slot (once per attempt) and must be
+/// deterministic in `(slot, i_am_primary)`.
+pub fn run_replicated_log_pipelined<S: StateMachine>(
+    ctx: &mut NodeCtx,
+    cfg: &SmrConfig,
+    commands: Vec<Command>,
+    hooks: &mut dyn SmrHooks,
+    make_driver: &mut dyn FnMut() -> Box<dyn BsbDriver>,
+    state: &mut S,
+) -> SmrReport {
+    let me = ctx.id();
+    let n = cfg.n;
+    let window = cfg.pipeline.max(1);
+    let total = cfg.slots as u64;
+    let mut pending = BatchBuilder::new(cfg.batch_capacity());
+    pending.extend(commands);
+    let mut diag = DiagGraph::new(n, cfg.t);
+    let mut suspects = vec![false; n];
+    let mut version: u64 = 0;
+    let mut slots: Vec<SlotReport> = Vec::with_capacity(cfg.slots);
+    let mut restarts: u64 = 0;
+    let mut mux: LaneMux<(BroadcastReport, DiagGraph)> = LaneMux::new();
+    let mut flights: BTreeMap<u64, Flight> = BTreeMap::new();
+    let mut lane_slots: HashMap<LaneId, u64> = HashMap::new();
+    let mut attempts: HashMap<u64, u32> = HashMap::new();
+    let mut next_slot: u64 = 0;
+    let mut stopped = false;
+
+    loop {
+        // --- Fill the window with proposals under the committed state. ---
+        while !stopped && flights.len() < window && next_slot < total {
+            if diag.is_isolated(me) {
+                // An identified-faulty replica is cut off (sequential
+                // engine: the per-slot `break`); fault-free replicas
+                // never land here.
+                stopped = true;
+                break;
+            }
+            let slot = next_slot;
+            match plan_for_slot(slot, &diag, &suspects) {
+                SlotPlan::Stall => {
+                    stopped = true;
+                }
+                SlotPlan::DegradedEmpty(nominal) => {
+                    flights.insert(
+                        slot,
+                        Flight {
+                            primary: nominal,
+                            version,
+                            degraded: true,
+                            lane: None,
+                            my_batch: None,
+                            pre_trust: Vec::new(),
+                            outcome: None,
+                            rounds: 0,
+                            bits: 0,
+                        },
+                    );
+                    next_slot += 1;
+                }
+                SlotPlan::Lead(primary) => {
+                    let attempt = attempts.entry(slot).or_insert(0);
+                    let scope = format!("smr.slot{slot}.a{attempt}");
+                    *attempt += 1;
+                    let my_batch = (me == primary).then(|| pending.next_batch());
+                    let proposal: Option<Vec<u8>> =
+                        my_batch.as_ref().map(|b| encode_batch(b, cfg.batch_capacity()));
+                    let pre_trust: Vec<bool> = (0..n).map(|x| diag.trusts(primary, x)).collect();
+                    let mut slot_hooks = hooks.slot_hooks(slot, me == primary);
+                    let mut driver = make_driver();
+                    let bcfg = cfg.broadcast_config(primary);
+                    let mut lane_diag = diag.clone();
+                    let lane = mux.spawn(ctx, scope.clone(), move |lane_ctx| {
+                        let report = run_broadcast_slot(
+                            lane_ctx,
+                            &bcfg,
+                            proposal.as_deref(),
+                            &scope,
+                            &mut lane_diag,
+                            slot_hooks.as_mut(),
+                            driver.as_mut(),
+                        );
+                        (report, lane_diag)
+                    });
+                    lane_slots.insert(lane, slot);
+                    flights.insert(
+                        slot,
+                        Flight {
+                            primary,
+                            version,
+                            degraded: false,
+                            lane: Some(lane),
+                            my_batch,
+                            pre_trust,
+                            outcome: None,
+                            rounds: 0,
+                            bits: 0,
+                        },
+                    );
+                    next_slot += 1;
+                }
+            }
+        }
+
+        // --- Commit resolved flights, strictly in slot order. ---
+        while let Some(head) = flights.get(&(slots.len() as u64)) {
+            if !head.degraded && head.outcome.is_none() {
+                break;
+            }
+            let slot = slots.len() as u64;
+            let flight = flights.remove(&slot).expect("head flight present");
+            debug_assert_eq!(
+                flight.version, version,
+                "live flights are never stale (discards clear them)"
+            );
+            if flight.degraded {
+                slots.push(SlotReport::degraded(slot, flight.primary));
+                continue;
+            }
+            let (report, new_diag) = flight.outcome.expect("resolved flight has an outcome");
+            // Same caught rule as the sequential engine — all inputs are
+            // common knowledge, so every fault-free replica agrees.
+            let caught = report.defaulted
+                || new_diag.is_isolated(flight.primary)
+                || (0..n).any(|x| {
+                    flight.pre_trust[x]
+                        && !new_diag.trusts(flight.primary, x)
+                        && !new_diag.is_isolated(x)
+                });
+            let diag_changed = new_diag != diag;
+            diag = new_diag;
+            if caught {
+                suspects[flight.primary] = true;
+            }
+            if caught || diag_changed {
+                // The shared state moved: every other in-flight attempt
+                // was proposed against a now-stale snapshot. Discard them
+                // — deepest slot first so requeues rebuild the pending
+                // queue in exact proposal order — *before* this slot's
+                // own requeue, and rewind proposals to the next slot.
+                version += 1;
+                restarts += flights.len() as u64;
+                for (_, doomed) in std::mem::take(&mut flights).into_iter().rev() {
+                    if let Some(lane) = doomed.lane {
+                        lane_slots.remove(&lane);
+                    }
+                    if let Some(batch) = doomed.my_batch {
+                        pending.requeue(batch);
+                    }
+                }
+                next_slot = slot + 1;
+                // A stall/isolation verdict was reached against the old
+                // state; re-evaluate it at the next fill (both conditions
+                // are monotone, so this can only un-stick a byz self).
+                stopped = false;
+            }
+            let committed = if caught { Vec::new() } else { decode_batch(&report.output) };
+            if caught {
+                if let Some(batch) = flight.my_batch {
+                    pending.requeue(batch);
+                }
+            }
+            state.apply_batch(&committed);
+            slots.push(SlotReport {
+                slot,
+                primary: flight.primary,
+                committed,
+                fallback: caught,
+                diagnosis_ran: report.diagnosis_invocations > 0,
+                bits_sent_by_me: flight.bits,
+                rounds: flight.rounds,
+            });
+        }
+
+        if slots.len() as u64 >= total || (stopped && flights.is_empty()) {
+            break;
+        }
+        if flights.is_empty() {
+            // The window was wiped by a discard: refill first, so the
+            // re-proposed slots join the very next physical round.
+            continue;
+        }
+
+        // --- One physical round: every live lane advances one round
+        // (the commit head is an unresolved lane flight here, so the mux
+        // is non-empty; discarded lanes drain alongside). ---
+        for finished in mux.step(ctx) {
+            let Some(slot) = lane_slots.remove(&finished.id) else {
+                continue; // a discarded attempt drained; drop its result
+            };
+            let flight = flights.get_mut(&slot).expect("lane maps to a live flight");
+            flight.outcome = Some(finished.output);
+            flight.rounds = finished.rounds;
+            flight.bits = finished.logical_bits;
+        }
+    }
+
+    // Drain discarded lanes so no lane thread outlives the log (their
+    // peers at other replicas drain in the same rounds).
+    while mux.has_lanes() {
+        for finished in mux.step(ctx) {
+            lane_slots.remove(&finished.id);
+        }
+    }
+
+    finish_report(cfg, slots, &diag, &suspects, restarts, state)
 }
 
 /// Result of a simulated replicated-log run.
@@ -359,18 +677,61 @@ pub fn simulate_smr(
     hooks: Vec<Box<dyn SmrHooks>>,
     metrics: MetricsSink,
 ) -> SmrRun {
+    if cfg.pipeline > 1 {
+        return simulate_smr_pipelined(cfg, workloads, hooks, metrics);
+    }
     let drivers = (0..cfg.n)
         .map(|_| Box::new(PhaseKingDriver) as Box<dyn BsbDriver>)
         .collect();
     simulate_smr_with(cfg, workloads, hooks, drivers, metrics)
 }
 
+/// The pipelined body of [`simulate_smr`]: every replica schedules up to
+/// [`SmrConfig::pipeline`] slots concurrently via
+/// [`run_replicated_log_pipelined`], with a fresh Phase-King driver per
+/// slot attempt.
+fn simulate_smr_pipelined(
+    cfg: &SmrConfig,
+    workloads: Vec<Vec<Command>>,
+    hooks: Vec<Box<dyn SmrHooks>>,
+    metrics: MetricsSink,
+) -> SmrRun {
+    assert_eq!(workloads.len(), cfg.n, "one command stream per replica");
+    assert_eq!(hooks.len(), cfg.n, "one hooks object per replica");
+
+    let logics: Vec<NodeLogic<(SmrReport, KvStore)>> = workloads
+        .into_iter()
+        .zip(hooks)
+        .map(|(commands, mut hook)| {
+            let cfg = cfg.clone();
+            Box::new(move |ctx: &mut NodeCtx| {
+                let mut store = KvStore::default();
+                let mut make_driver =
+                    || Box::new(PhaseKingDriver) as Box<dyn BsbDriver>;
+                let report = run_replicated_log_pipelined(
+                    ctx,
+                    &cfg,
+                    commands,
+                    hook.as_mut(),
+                    &mut make_driver,
+                    &mut store,
+                );
+                (report, store)
+            }) as NodeLogic<(SmrReport, KvStore)>
+        })
+        .collect();
+    run_smr_simulation(cfg, logics, metrics)
+}
+
 /// As [`simulate_smr`] with one explicit `Broadcast_Single_Bit` driver
-/// per replica (the §4 substitution seam).
+/// per replica (the §4 substitution seam). Sequential only: a pipelined
+/// log needs one driver per *slot attempt*, not per replica (use
+/// [`run_replicated_log_pipelined`] with a driver factory).
 ///
 /// # Panics
 ///
-/// As [`simulate_smr`], plus when `drivers.len() != cfg.n`.
+/// As [`simulate_smr`], plus when `drivers.len() != cfg.n` or
+/// `cfg.pipeline > 1`.
 pub fn simulate_smr_with(
     cfg: &SmrConfig,
     workloads: Vec<Vec<Command>>,
@@ -381,6 +742,10 @@ pub fn simulate_smr_with(
     assert_eq!(workloads.len(), cfg.n, "one command stream per replica");
     assert_eq!(hooks.len(), cfg.n, "one hooks object per replica");
     assert_eq!(drivers.len(), cfg.n, "one BSB driver per replica");
+    assert!(
+        cfg.pipeline <= 1,
+        "simulate_smr_with is sequential; pipelined runs need a driver per slot attempt"
+    );
 
     let logics: Vec<NodeLogic<(SmrReport, KvStore)>> = workloads
         .into_iter()
@@ -402,7 +767,15 @@ pub fn simulate_smr_with(
             }) as NodeLogic<(SmrReport, KvStore)>
         })
         .collect();
+    run_smr_simulation(cfg, logics, metrics)
+}
 
+/// Shared simulation tail of the sequential and pipelined runners.
+fn run_smr_simulation(
+    cfg: &SmrConfig,
+    logics: Vec<NodeLogic<(SmrReport, KvStore)>>,
+    metrics: MetricsSink,
+) -> SmrRun {
     let mut sim_cfg = SimConfig::new(cfg.n);
     if let Some(timeout) = cfg.round_timeout {
         sim_cfg = sim_cfg.with_round_timeout(timeout);
@@ -520,6 +893,77 @@ mod tests {
         assert!(r.suspects.contains(&byz));
         assert!(r.slots[2..].iter().all(|s| s.primary != byz));
         assert_eq!(r.fallback_slots, 1);
+    }
+
+    #[test]
+    fn pipelined_honest_log_matches_sequential_in_fewer_rounds() {
+        let n = 4;
+        let seq_cfg = SmrConfig::new(n, 1, 12, 2).unwrap();
+        let seq = simulate_smr(
+            &seq_cfg,
+            workloads(n, 4),
+            (0..n).map(|_| HonestReplica::boxed()).collect(),
+            MetricsSink::new(),
+        );
+        for w in [2usize, 4] {
+            let cfg = seq_cfg.clone().with_pipeline(w);
+            let run = simulate_smr(
+                &cfg,
+                workloads(n, 4),
+                (0..n).map(|_| HonestReplica::boxed()).collect(),
+                MetricsSink::new(),
+            );
+            for (a, b) in run.reports.iter().zip(&seq.reports) {
+                assert_eq!(a.agreed_log(), b.agreed_log(), "W = {w}: log diverged");
+                assert_eq!(a.digest, b.digest);
+                assert_eq!(a.restarts, 0, "honest runs never discard");
+            }
+            assert_eq!(run.stores, seq.stores);
+            assert!(
+                run.rounds < seq.rounds,
+                "W = {w}: {} rounds not below sequential {}",
+                run.rounds,
+                seq.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_equivocating_primary_commits_the_sequential_log() {
+        let n = 4;
+        let byz = 1usize;
+        let mk_hooks = || -> Vec<Box<dyn SmrHooks>> {
+            (0..n)
+                .map(|i| {
+                    if i == byz {
+                        Box::new(EquivocatingPrimary::default()) as Box<dyn SmrHooks>
+                    } else {
+                        HonestReplica::boxed()
+                    }
+                })
+                .collect()
+        };
+        let seq_cfg = SmrConfig::new(n, 1, 9, 2).unwrap();
+        let seq = simulate_smr(&seq_cfg, workloads(n, 3), mk_hooks(), MetricsSink::new());
+        let cfg = seq_cfg.clone().with_pipeline(4);
+        let run = simulate_smr(&cfg, workloads(n, 3), mk_hooks(), MetricsSink::new());
+        let honest: Vec<usize> = (0..n).filter(|&i| i != byz).collect();
+        for &h in &honest {
+            assert_eq!(run.reports[h].agreed_log(), seq.reports[h].agreed_log());
+            assert_eq!(run.reports[h].digest, seq.reports[h].digest);
+            assert_eq!(run.stores[h], seq.stores[h]);
+            // The equivocation commit wiped the in-flight window once.
+            assert!(run.reports[h].restarts > 0, "expected discarded attempts");
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_validation() {
+        let cfg = SmrConfig::new(4, 1, 4, 2).unwrap();
+        assert_eq!(cfg.pipeline, 1);
+        assert_eq!(cfg.clone().with_pipeline(4).pipeline, 4);
+        let result = std::panic::catch_unwind(|| cfg.with_pipeline(0));
+        assert!(result.is_err(), "depth 0 must be rejected");
     }
 
     #[test]

@@ -2,30 +2,68 @@
 
 use mvbc_core::DiagGraph;
 
-/// Picks the primary of `slot`: round-robin over the replicas that are
+/// The agreed leadership decision for one slot (see [`plan_for_slot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotPlan {
+    /// The slot is led by this replica: it proposes a batch and the slot
+    /// runs a broadcast.
+    Lead(usize),
+    /// **Degraded mode**: every active replica is a suspect, so *no one*
+    /// is given proposal rights — the slot commits the agreed empty batch
+    /// at every fault-free replica without any broadcast. The carried id
+    /// is the deterministic rotation pick over the active set, recorded
+    /// for reporting only.
+    ///
+    /// This replaces the unsafe fallback of re-electing from the full
+    /// active pool, under which a caught equivocator could become primary
+    /// again and put a proposal on the wire.
+    DegradedEmpty(usize),
+    /// No active replica exists at all (impossible with `t < n/3` and an
+    /// honest majority): the log stalls.
+    Stall,
+}
+
+/// Plans the slot's leadership: round-robin over the replicas that are
 /// neither isolated by the diagnosis graph nor marked as suspects by the
 /// log's dispute memory.
 ///
 /// Both inputs are common knowledge at every fault-free replica (the
 /// graph is driven by `Broadcast_Single_Bit` outputs, the suspect set by
-/// deterministic rules over it), so all replicas compute the same primary
+/// deterministic rules over it), so all replicas compute the same plan
 /// without communicating.
 ///
-/// When *every* active replica is a suspect the rotation falls back to
-/// the full active set rather than stalling the log; `None` only when no
-/// replica is active at all (impossible with `t < n/3` honest majority).
-pub fn primary_for_slot(slot: u64, diag: &DiagGraph, suspects: &[bool]) -> Option<usize> {
+/// When *every* active replica is a suspect, the answer is
+/// [`SlotPlan::DegradedEmpty`]: the rotation stays deterministic (it
+/// still cycles over the active set, so reports agree on a nominal
+/// primary) but no suspect regains proposal rights — the slot commits
+/// empty everywhere. [`SlotPlan::Stall`] only when no replica is active.
+pub fn plan_for_slot(slot: u64, diag: &DiagGraph, suspects: &[bool]) -> SlotPlan {
     let active = diag.active_ids();
+    if active.is_empty() {
+        return SlotPlan::Stall;
+    }
     let eligible: Vec<usize> = active
         .iter()
         .copied()
         .filter(|&v| !suspects.get(v).copied().unwrap_or(false))
         .collect();
-    let pool = if eligible.is_empty() { active } else { eligible };
-    if pool.is_empty() {
-        return None;
+    if eligible.is_empty() {
+        return SlotPlan::DegradedEmpty(active[(slot % active.len() as u64) as usize]);
     }
-    Some(pool[(slot % pool.len() as u64) as usize])
+    SlotPlan::Lead(eligible[(slot % eligible.len() as u64) as usize])
+}
+
+/// Picks the nominal primary of `slot`: the [`plan_for_slot`] choice,
+/// whether or not it holds proposal rights ([`SlotPlan::DegradedEmpty`]
+/// yields the rotation pick, `None` only on [`SlotPlan::Stall`]).
+///
+/// Engine code should use [`plan_for_slot`] directly — in degraded mode
+/// the returned replica must **not** be allowed to propose.
+pub fn primary_for_slot(slot: u64, diag: &DiagGraph, suspects: &[bool]) -> Option<usize> {
+    match plan_for_slot(slot, diag, suspects) {
+        SlotPlan::Lead(p) | SlotPlan::DegradedEmpty(p) => Some(p),
+        SlotPlan::Stall => None,
+    }
 }
 
 #[cfg(test)]
@@ -40,6 +78,7 @@ mod tests {
             .map(|s| primary_for_slot(s, &diag, &suspects).unwrap())
             .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(plan_for_slot(2, &diag, &suspects), SlotPlan::Lead(2));
     }
 
     #[test]
@@ -62,10 +101,51 @@ mod tests {
     }
 
     #[test]
+    fn all_suspect_is_degraded_and_grants_no_proposal_rights() {
+        // A caught equivocator (or any suspect) must never come back as a
+        // proposing primary: with every active replica suspect, every
+        // slot plans the agreed-empty fallback, deterministically.
+        let diag = DiagGraph::new(3, 0);
+        let suspects = vec![true; 3];
+        let plans: Vec<SlotPlan> = (0..6).map(|s| plan_for_slot(s, &diag, &suspects)).collect();
+        assert_eq!(
+            plans,
+            vec![
+                SlotPlan::DegradedEmpty(0),
+                SlotPlan::DegradedEmpty(1),
+                SlotPlan::DegradedEmpty(2),
+                SlotPlan::DegradedEmpty(0),
+                SlotPlan::DegradedEmpty(1),
+                SlotPlan::DegradedEmpty(2),
+            ]
+        );
+        assert!(plans.iter().all(|p| !matches!(p, SlotPlan::Lead(_))));
+    }
+
+    #[test]
+    fn degraded_rotation_skips_isolated_replicas() {
+        // The nominal degraded rotation is over the *active* set: an
+        // isolated replica appears in no plan at all.
+        let mut diag = DiagGraph::new(4, 1);
+        diag.isolate(2);
+        let suspects = vec![true; 4];
+        let plans: Vec<SlotPlan> = (0..3).map(|s| plan_for_slot(s, &diag, &suspects)).collect();
+        assert_eq!(
+            plans,
+            vec![
+                SlotPlan::DegradedEmpty(0),
+                SlotPlan::DegradedEmpty(1),
+                SlotPlan::DegradedEmpty(3),
+            ]
+        );
+    }
+
+    #[test]
     fn no_active_replicas_yields_none() {
         let mut diag = DiagGraph::new(2, 0);
         diag.isolate(0);
         diag.isolate(1);
         assert_eq!(primary_for_slot(0, &diag, &[false, false]), None);
+        assert_eq!(plan_for_slot(0, &diag, &[false, false]), SlotPlan::Stall);
     }
 }

@@ -52,6 +52,25 @@ pub struct AgreedSlot<'a> {
 }
 
 impl SlotReport {
+    /// The agreed-empty record of a **degraded** slot (every active
+    /// replica suspect; see
+    /// [`SlotPlan::DegradedEmpty`](crate::SlotPlan::DegradedEmpty)): no
+    /// broadcast runs, nothing commits, `nominal` is the rotation pick
+    /// recorded for reporting only. Shared by the sequential and
+    /// pipelined engines so their degraded slots are identical by
+    /// construction.
+    pub fn degraded(slot: u64, nominal: NodeId) -> Self {
+        SlotReport {
+            slot,
+            primary: nominal,
+            committed: Vec::new(),
+            fallback: true,
+            diagnosis_ran: false,
+            bits_sent_by_me: 0,
+            rounds: 0,
+        }
+    }
+
     /// This slot's [`AgreedSlot`] view.
     pub fn agreed(&self) -> AgreedSlot<'_> {
         AgreedSlot {
@@ -71,8 +90,16 @@ impl SlotReport {
 /// The honest implementation is [`HonestReplica`]; Byzantine replicas
 /// substitute attack hooks for the slots where they are primary.
 pub trait SmrHooks: Send {
-    /// Called at the start of every slot; returns the broadcast hooks the
-    /// replica uses for that slot's broadcast execution.
+    /// Called at the start of every slot *attempt*; returns the broadcast
+    /// hooks the replica uses for that attempt's broadcast execution.
+    ///
+    /// Under a pipelined log
+    /// ([`run_replicated_log_pipelined`](crate::run_replicated_log_pipelined))
+    /// a slot may be attempted more than once — an attempt in flight when
+    /// a commit changes the dispute state is discarded and the slot
+    /// re-proposed — so this method can be called several times for one
+    /// `slot` and must be deterministic in `(slot, i_am_primary)` for the
+    /// pipelined log to commit exactly the sequential log.
     fn slot_hooks(&mut self, slot: u64, i_am_primary: bool) -> Box<dyn BroadcastHooks>;
 }
 

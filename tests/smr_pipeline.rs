@@ -1,0 +1,255 @@
+//! Pipelined-vs-sequential equivalence of the `mvbc-smr` replicated log,
+//! plus the degraded-mode endgame.
+//!
+//! The pipelined scheduler's contract is exact: at any depth `W`, under
+//! any attack schedule, the *committed* log (per-slot primaries, batches,
+//! fallbacks, diagnosis flags, protocol rounds) and the final state
+//! digest are identical to a sequential run — pipelining may only cost
+//! discarded attempts, never change what commits.
+
+use mvbc_broadcast::attacks::{EquivocatingSource, FramingAccuser};
+use mvbc_broadcast::{BroadcastHooks, NoopBroadcastHooks};
+use mvbc_metrics::MetricsSink;
+use mvbc_smr::{
+    simulate_smr, synthetic_workloads, EquivocatingPrimary, HonestReplica, SilentPrimary,
+    SmrConfig, SmrHooks, SmrRun,
+};
+
+/// Asserts the fault-free replicas of both runs committed the same log,
+/// state, and digest — and agree among themselves.
+fn assert_equivalent(seq: &SmrRun, pipe: &SmrRun, honest: &[usize], label: &str) {
+    for w in honest.windows(2) {
+        assert_eq!(
+            pipe.reports[w[0]].agreed_log(),
+            pipe.reports[w[1]].agreed_log(),
+            "{label}: pipelined replicas {} and {} diverged",
+            w[0],
+            w[1]
+        );
+    }
+    for &h in honest {
+        assert_eq!(
+            pipe.reports[h].agreed_log(),
+            seq.reports[h].agreed_log(),
+            "{label}: replica {h} pipelined log differs from sequential"
+        );
+        assert_eq!(pipe.reports[h].digest, seq.reports[h].digest, "{label}: digest");
+        assert_eq!(pipe.stores[h], seq.stores[h], "{label}: state");
+        assert_eq!(
+            pipe.reports[h].suspects, seq.reports[h].suspects,
+            "{label}: suspect sets"
+        );
+    }
+}
+
+/// The satellite suite: seeded schedules with Byzantine primaries in
+/// rotation — an always-equivocator, a silent leader, and a *sleeper*
+/// that behaves until its second primary turn — each committed at depths
+/// W ∈ {1, 2, 4} with identical batches and `KvStore` digests.
+#[test]
+fn seeded_attack_schedules_commit_identical_logs_at_depths_1_2_4() {
+    let n = 4usize;
+    let slots = 10usize;
+    for seed in 0..6u64 {
+        let byz = (seed % n as u64) as usize;
+        let kind = seed % 3;
+        let mk_hooks = || -> Vec<Box<dyn SmrHooks>> {
+            (0..n)
+                .map(|i| -> Box<dyn SmrHooks> {
+                    if i != byz {
+                        return HonestReplica::boxed();
+                    }
+                    match kind {
+                        0 => Box::new(EquivocatingPrimary::default()),
+                        1 => Box::new(SilentPrimary),
+                        // Sleeper: honest through its first primary turn,
+                        // equivocates on its second.
+                        _ => Box::new(EquivocatingPrimary {
+                            on_slots: Some(vec![byz as u64 + n as u64]),
+                        }),
+                    }
+                })
+                .collect()
+        };
+        let workloads = || synthetic_workloads(n, 6, seed + 1);
+        let cfg = SmrConfig::new(n, 1, slots, 2).unwrap();
+        let seq = simulate_smr(&cfg, workloads(), mk_hooks(), MetricsSink::new());
+        let honest: Vec<usize> = (0..n).filter(|&i| i != byz).collect();
+        for w in [2usize, 4] {
+            let label = format!("seed {seed} kind {kind} W {w}");
+            let pipe_cfg = cfg.clone().with_pipeline(w);
+            let pipe = simulate_smr(&pipe_cfg, workloads(), mk_hooks(), MetricsSink::new());
+            assert_equivalent(&seq, &pipe, &honest, &label);
+        }
+    }
+}
+
+/// Honest pipelining at n = 7, t = 2: full-depth windows cut the round
+/// count by roughly the depth while committing the identical log.
+#[test]
+fn honest_pipeline_cuts_rounds_without_changing_the_log() {
+    let n = 7usize;
+    let cfg = SmrConfig::new(n, 2, 12, 4).unwrap();
+    let workloads = || synthetic_workloads(n, 8, 3);
+    let hooks = |_: ()| (0..n).map(|_| HonestReplica::boxed()).collect();
+    let seq = simulate_smr(&cfg, workloads(), hooks(()), MetricsSink::new());
+    let pipe_cfg = cfg.clone().with_pipeline(4);
+    let pipe = simulate_smr(&pipe_cfg, workloads(), hooks(()), MetricsSink::new());
+    let all: Vec<usize> = (0..n).collect();
+    assert_equivalent(&seq, &pipe, &all, "honest n=7");
+    assert!(pipe.reports.iter().all(|r| r.restarts == 0));
+    assert!(
+        pipe.rounds * 3 <= seq.rounds,
+        "depth 4 should cut rounds by ~4x, got {} vs {}",
+        pipe.rounds,
+        seq.rounds
+    );
+}
+
+/// Two simultaneous Byzantine replicas at n = 7, t = 2 (an equivocator
+/// and a silent leader), pipelined vs sequential.
+#[test]
+fn two_byzantine_replicas_pipeline_equivalently() {
+    let n = 7usize;
+    let byz_eq = 1usize;
+    let byz_silent = 4usize;
+    let mk_hooks = || -> Vec<Box<dyn SmrHooks>> {
+        (0..n)
+            .map(|i| -> Box<dyn SmrHooks> {
+                if i == byz_eq {
+                    Box::new(EquivocatingPrimary::default())
+                } else if i == byz_silent {
+                    Box::new(SilentPrimary)
+                } else {
+                    HonestReplica::boxed()
+                }
+            })
+            .collect()
+    };
+    let cfg = SmrConfig::new(n, 2, 10, 2).unwrap();
+    let workloads = || synthetic_workloads(n, 4, 9);
+    let seq = simulate_smr(&cfg, workloads(), mk_hooks(), MetricsSink::new());
+    let pipe_cfg = cfg.clone().with_pipeline(4);
+    let pipe = simulate_smr(&pipe_cfg, workloads(), mk_hooks(), MetricsSink::new());
+    let honest: Vec<usize> = (0..n).filter(|&i| i != byz_eq && i != byz_silent).collect();
+    assert_equivalent(&seq, &pipe, &honest, "two byzantine");
+    // Both attacks were caught and excluded in both modes.
+    let r = &seq.reports[honest[0]];
+    assert!(r.suspects.contains(&byz_eq) && r.suspects.contains(&byz_silent));
+}
+
+/// A colluding team member that frames sitting primaries on scheduled
+/// slots (each frame burns one accuser edge — at most `t` safe frames per
+/// accuser, and every isolation of a teammate erodes the remaining
+/// budget, so all frames are spent *before* any teammate blows up) and
+/// equivocates on scheduled primary turns of its own, behaving honestly
+/// otherwise.
+struct ColludingByzantine {
+    /// Slots on which to frame the sitting primary (when not leading).
+    frame_slots: Vec<u64>,
+    /// Own primary turns on which to equivocate (honest otherwise).
+    equivocate_slots: Vec<u64>,
+}
+
+impl SmrHooks for ColludingByzantine {
+    fn slot_hooks(&mut self, slot: u64, i_am_primary: bool) -> Box<dyn BroadcastHooks> {
+        if i_am_primary && self.equivocate_slots.contains(&slot) {
+            Box::new(EquivocatingSource)
+        } else if !i_am_primary && self.frame_slots.contains(&slot) {
+            Box::new(FramingAccuser)
+        } else {
+            NoopBroadcastHooks::boxed()
+        }
+    }
+}
+
+/// The choreography (n = 10, t = 3, replicas 7-9 colluding): as caught
+/// primaries leave the rotation, the eligible pool shrinks
+/// deterministically, so the team schedules one catch per honest-led
+/// slot — frames on the seven honest primaries (slots 0, 1, 2 by replica
+/// 7; slots 3, 6, 10 by replica 8; slot 12 by replica 9), honest
+/// behaviour on their own mid-campaign turns (so no early isolation
+/// wastes frame budget), then end-game equivocations on slots 13 and 14.
+/// After slot 14 every active replica is a suspect: degraded mode.
+fn degraded_scenario(pipeline: usize) -> (SmrRun, Vec<usize>) {
+    let n = 10usize;
+    let t = 3usize;
+    let byz: Vec<usize> = vec![7, 8, 9];
+    let slots = 18usize;
+    let mut cfg = SmrConfig::new(n, t, slots, 1).unwrap();
+    cfg = cfg.with_pipeline(pipeline);
+    let hooks: Vec<Box<dyn SmrHooks>> = (0..n)
+        .map(|i| -> Box<dyn SmrHooks> {
+            match i {
+                7 => Box::new(ColludingByzantine {
+                    frame_slots: vec![0, 1, 2],
+                    equivocate_slots: vec![],
+                }),
+                8 => Box::new(ColludingByzantine {
+                    frame_slots: vec![3, 6, 10],
+                    equivocate_slots: vec![13],
+                }),
+                9 => Box::new(ColludingByzantine {
+                    frame_slots: vec![12],
+                    equivocate_slots: vec![14],
+                }),
+                _ => HonestReplica::boxed(),
+            }
+        })
+        .collect();
+    let run = simulate_smr(&cfg, synthetic_workloads(n, 4, 5), hooks, MetricsSink::new());
+    let honest: Vec<usize> = (0..n).filter(|i| !byz.contains(i)).collect();
+    (run, honest)
+}
+
+#[test]
+fn framing_team_drives_the_log_into_safe_degraded_mode() {
+    let (run, honest) = degraded_scenario(1);
+    for w in honest.windows(2) {
+        assert_eq!(run.reports[w[0]].agreed_log(), run.reports[w[1]].agreed_log());
+        assert_eq!(run.stores[w[0]], run.stores[w[1]]);
+    }
+    let r = &run.reports[honest[0]];
+    assert_eq!(r.slots.len(), 18, "degraded mode keeps the log live for empty slots");
+
+    // The endgame is reached: every replica still active is a suspect.
+    let active: Vec<usize> = (0..10).filter(|v| !r.isolated.contains(v)).collect();
+    assert!(
+        active.iter().all(|v| r.suspects.contains(v)),
+        "not fully degraded: active {active:?}, suspects {:?}",
+        r.suspects
+    );
+
+    // Degraded slots have the agreed-empty signature (no broadcast ran),
+    // and once entered, the mode is permanent.
+    let first_degraded = r
+        .slots
+        .iter()
+        .position(|s| s.fallback && !s.diagnosis_ran && s.rounds == 0)
+        .expect("the schedule must reach degraded mode");
+    for s in &r.slots[first_degraded..] {
+        assert!(s.fallback && s.committed.is_empty(), "slot {} broke degraded mode", s.slot);
+        assert!(!s.diagnosis_ran && s.rounds == 0, "slot {} ran a broadcast", s.slot);
+    }
+    assert!(first_degraded <= 15, "degradation must set in once every replica is caught");
+
+    // Safety of the fix: once a replica is caught (its slot fell back
+    // with a broadcast), it never again leads a slot that commits.
+    for (i, s) in r.slots.iter().enumerate() {
+        if s.fallback && s.diagnosis_ran {
+            assert!(
+                r.slots[i + 1..].iter().all(|later| later.fallback || later.primary != s.primary),
+                "caught primary {} led committing slot after slot {}",
+                s.primary,
+                s.slot
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_mode_pipelines_equivalently() {
+    let (seq, honest) = degraded_scenario(1);
+    let (pipe, _) = degraded_scenario(3);
+    assert_equivalent(&seq, &pipe, &honest, "degraded endgame");
+}
