@@ -1,4 +1,4 @@
-//! Runs every experiment (E1-E17) in sequence, writing all CSVs into
+//! Runs every experiment (E1-E18) in sequence, writing all CSVs into
 //! `results/`. Pass `--quick` to use the reduced parameter grids.
 //!
 //! ```sh
@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_kappa",
     "exp_smr_throughput",
     "exp_smr_pipeline",
+    "exp_codec",
 ];
 
 fn main() {

@@ -98,6 +98,37 @@ pub trait Field:
     fn is_zero(self) -> bool {
         self == Self::ZERO
     }
+
+    /// Batch kernel `dst[i] = c * src[i]`.
+    ///
+    /// The table-driven fields override this with a log-domain loop that
+    /// hoists the table reference and `log(c)` out of the loop; the
+    /// default delegates to the scalar reference loop. See
+    /// [`crate::kernels`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` differ in length.
+    fn mul_slice(c: Self, src: &[Self], dst: &mut [Self]) {
+        crate::kernels::mul_slice_scalar(c, src, dst);
+    }
+
+    /// Batch kernel `dst[i] += c * src[i]` (the fused multiply-accumulate
+    /// of every Reed-Solomon matrix row application).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` differ in length.
+    fn addmul_slice(c: Self, src: &[Self], dst: &mut [Self]) {
+        crate::kernels::addmul_slice_scalar(c, src, dst);
+    }
+
+    /// Batch kernel `buf[i] = c * buf[i]`.
+    fn mul_slice_in_place(c: Self, buf: &mut [Self]) {
+        for b in buf.iter_mut() {
+            *b *= c;
+        }
+    }
 }
 
 macro_rules! impl_gf {
@@ -158,6 +189,67 @@ macro_rules! impl_gf {
                 );
                 let t = $tables();
                 Self(t.exp[i] as $repr)
+            }
+
+            // Log-domain slice kernels: the table reference and `log(c)`
+            // are resolved once per slice instead of once per element,
+            // and `c ∈ {0, 1}` short-circuits to fill/copy/XOR loops.
+            fn mul_slice(c: Self, src: &[Self], dst: &mut [Self]) {
+                assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+                if c.0 == 0 {
+                    dst.fill(Self(0));
+                    return;
+                }
+                if c.0 == 1 {
+                    dst.copy_from_slice(src);
+                    return;
+                }
+                let t = $tables();
+                let lc = t.log[c.0 as usize];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = if s.0 == 0 {
+                        Self(0)
+                    } else {
+                        Self(t.exp[(lc + t.log[s.0 as usize]) as usize] as $repr)
+                    };
+                }
+            }
+
+            fn addmul_slice(c: Self, src: &[Self], dst: &mut [Self]) {
+                assert_eq!(src.len(), dst.len(), "addmul_slice length mismatch");
+                if c.0 == 0 {
+                    return;
+                }
+                if c.0 == 1 {
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        d.0 ^= s.0;
+                    }
+                    return;
+                }
+                let t = $tables();
+                let lc = t.log[c.0 as usize];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    if s.0 != 0 {
+                        d.0 ^= t.exp[(lc + t.log[s.0 as usize]) as usize] as $repr;
+                    }
+                }
+            }
+
+            fn mul_slice_in_place(c: Self, buf: &mut [Self]) {
+                if c.0 == 0 {
+                    buf.fill(Self(0));
+                    return;
+                }
+                if c.0 == 1 {
+                    return;
+                }
+                let t = $tables();
+                let lc = t.log[c.0 as usize];
+                for b in buf.iter_mut() {
+                    if b.0 != 0 {
+                        b.0 = t.exp[(lc + t.log[b.0 as usize]) as usize] as $repr;
+                    }
+                }
             }
         }
 

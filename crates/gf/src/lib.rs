@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod field;
+pub mod kernels;
 mod linalg;
 mod poly;
 mod tables;

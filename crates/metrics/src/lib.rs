@@ -32,11 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a simulated processor (0-based).
@@ -46,11 +47,21 @@ pub type NodeId = usize;
 /// tags. Repeated calls with equal content return the same leaked
 /// allocation, so composing hierarchical tags at runtime (e.g.
 /// `"consensus.matching.m" + ".bsb.value"`) does not grow memory per call.
+///
+/// Read-mostly: interning a tag that already exists only takes the
+/// shared read lock, so concurrent node threads re-interning known tags
+/// never serialize on a write lock.
 pub fn intern_tag(tag: &str) -> &'static str {
-    static INTERNED: Mutex<Option<std::collections::HashSet<&'static str>>> = Mutex::new(None);
-    let mut guard = INTERNED.lock();
+    static INTERNED: RwLock<Option<std::collections::HashSet<&'static str>>> = RwLock::new(None);
+    if let Some(set) = INTERNED.read().as_ref() {
+        if let Some(&existing) = set.get(tag) {
+            return existing;
+        }
+    }
+    let mut guard = INTERNED.write();
     let set = guard.get_or_insert_with(std::collections::HashSet::new);
     if let Some(&existing) = set.get(tag) {
+        // Raced with another interner between the read and write locks.
         return existing;
     }
     let leaked: &'static str = Box::leak(tag.to_owned().into_boxed_str());
@@ -77,19 +88,74 @@ impl Counter {
     }
 }
 
+/// Lock-free counter cells for one `(node, tag)` pair. Updates use
+/// `Relaxed` ordering: the three fields are independent monotone sums,
+/// and readers ([`MetricsSink::snapshot`]) run at quiescent points
+/// (round barriers, post-join) where the simulator's own channel
+/// synchronization already ordered the writes.
 #[derive(Debug, Default)]
+struct AtomicCounter {
+    messages: AtomicU64,
+    logical_bits: AtomicU64,
+    payload_bytes: AtomicU64,
+}
+
+impl AtomicCounter {
+    fn add(&self, logical_bits: u64, payload_bytes: u64) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.logical_bits.fetch_add(logical_bits, Ordering::Relaxed);
+        self.payload_bytes.fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> Counter {
+        Counter {
+            messages: self.messages.load(Ordering::Relaxed),
+            logical_bits: self.logical_bits.load(Ordering::Relaxed),
+            payload_bytes: self.payload_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Number of counter shards. Node `i` hits shard `i % SHARD_COUNT`, so
+/// for every practical simulation size (`n <= 64`) each node owns its
+/// shard exclusively and [`MetricsSink::record_send`] never contends
+/// with another node's sends.
+const SHARD_COUNT: usize = 64;
+
+/// One shard: the counters of the nodes mapped to it. The inner lock is
+/// read-mostly — the steady state (tag already seen) is a shared read
+/// lock plus three relaxed `fetch_add`s; only a node's *first* send of a
+/// given tag takes the shard's write lock.
+#[derive(Debug, Default)]
+struct Shard {
+    counters: RwLock<HashMap<(NodeId, &'static str), Arc<AtomicCounter>>>,
+}
+
+#[derive(Debug)]
 struct Inner {
-    by_node_tag: BTreeMap<(NodeId, &'static str), Counter>,
-    rounds: u64,
+    shards: Vec<Shard>,
+    rounds: AtomicU64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            rounds: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Thread-safe sink collecting per-send counters.
 ///
 /// Cheap to clone (it is an `Arc` handle); the simulator and all node
-/// threads share one sink per run.
+/// threads share one sink per run. Counters are sharded by sending node
+/// and merged only at [`MetricsSink::snapshot`] time, so the per-send
+/// hot path ([`NodeCtx::send`](../mvbc_netsim/struct.NodeCtx.html)) is
+/// contention-free across nodes — no global mutex.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSink {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<Inner>,
 }
 
 impl MetricsSink {
@@ -98,7 +164,7 @@ impl MetricsSink {
         Self::default()
     }
 
-    /// Records one sent message.
+    /// Records one sent message. Contention-free across sending nodes.
     pub fn record_send(
         &self,
         from: NodeId,
@@ -106,41 +172,54 @@ impl MetricsSink {
         logical_bits: u64,
         payload_bytes: u64,
     ) {
-        let mut inner = self.inner.lock();
-        inner
-            .by_node_tag
-            .entry((from, tag))
-            .or_default()
-            .absorb(Counter {
-                messages: 1,
-                logical_bits,
-                payload_bytes,
-            });
+        let shard = &self.inner.shards[from % SHARD_COUNT];
+        {
+            let counters = shard.counters.read();
+            if let Some(counter) = counters.get(&(from, tag)) {
+                counter.add(logical_bits, payload_bytes);
+                return;
+            }
+        }
+        let counter = {
+            let mut counters = shard.counters.write();
+            counters.entry((from, tag)).or_default().clone()
+        };
+        counter.add(logical_bits, payload_bytes);
     }
 
     /// Records the completion of one synchronous communication round.
     pub fn record_round(&self) {
-        self.inner.lock().rounds += 1;
+        self.inner.rounds.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Takes an immutable snapshot of all counters.
+    /// Takes an immutable snapshot of all counters, merging the per-node
+    /// shards. Intended for quiescent points (round barriers, slot
+    /// boundaries, post-run): a snapshot raced with in-flight sends sees
+    /// each counter at some recent value but no torn individual counter.
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.inner.lock();
+        let mut by_node_tag: BTreeMap<(NodeId, String), Counter> = BTreeMap::new();
+        for shard in &self.inner.shards {
+            let counters = shard.counters.read();
+            for (&(node, tag), counter) in counters.iter() {
+                // Distinct `&'static str`s with equal content merge here.
+                by_node_tag
+                    .entry((node, tag.to_owned()))
+                    .or_default()
+                    .absorb(counter.load());
+            }
+        }
         Snapshot {
-            by_node_tag: inner
-                .by_node_tag
-                .iter()
-                .map(|(&(node, tag), &c)| ((node, tag.to_owned()), c))
-                .collect(),
-            rounds: inner.rounds,
+            by_node_tag,
+            rounds: self.inner.rounds.load(Ordering::Relaxed),
         }
     }
 
     /// Clears all counters (for reusing a sink across runs).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
-        inner.by_node_tag.clear();
-        inner.rounds = 0;
+        for shard in &self.inner.shards {
+            shard.counters.write().clear();
+        }
+        self.inner.rounds.store(0, Ordering::Relaxed);
     }
 }
 
@@ -450,6 +529,22 @@ mod tests {
         let b = intern_tag(&format!("x.y.{}", 'z'));
         assert!(std::ptr::eq(a, b));
         assert_eq!(a, "x.y.z");
+    }
+
+    #[test]
+    fn distinct_statics_with_equal_content_merge() {
+        // Two different &'static str allocations spelling the same tag
+        // land in one snapshot entry (keys merge by content).
+        let sink = MetricsSink::new();
+        let a: &'static str = "merge.me";
+        let b: &'static str = Box::leak(String::from("merge.me").into_boxed_str());
+        assert!(!std::ptr::eq(a, b));
+        sink.record_send(0, a, 1, 1);
+        sink.record_send(0, b, 2, 1);
+        let s = sink.snapshot();
+        assert_eq!(s.tags(), vec!["merge.me".to_owned()]);
+        assert_eq!(s.counter_for_tag("merge.me").messages, 2);
+        assert_eq!(s.total_logical_bits(), 3);
     }
 
     #[test]

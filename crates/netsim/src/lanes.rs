@@ -74,11 +74,12 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{self, Receiver, Sender};
 
-use crate::{CoordMsg, Inbox, NodeCtx};
+use crate::{CoordMsg, Inbox, InboxPool, NodeCtx};
 
 /// Identifier of one spawned lane, unique within its [`LaneMux`].
 pub type LaneId = u64;
@@ -110,6 +111,10 @@ struct Lane<O> {
 pub struct LaneMux<O> {
     lanes: BTreeMap<LaneId, Lane<O>>,
     next_id: LaneId,
+    /// Recycles the per-lane routed inboxes across steps (lane threads
+    /// return shells when they drop them), mirroring the coordinator's
+    /// own inbox pool.
+    pool: Arc<InboxPool>,
 }
 
 impl<O> Default for LaneMux<O> {
@@ -117,6 +122,8 @@ impl<O> Default for LaneMux<O> {
         LaneMux {
             lanes: BTreeMap::new(),
             next_id: 0,
+            // 2 shells per lane in steady state; depth-16 pipelines fit.
+            pool: InboxPool::with_cap(32),
         }
     }
 }
@@ -243,22 +250,22 @@ impl<O: Send + 'static> LaneMux<O> {
             }
         }
         if !submitted.is_empty() {
-            let inbox = ctx.end_round();
+            let mut inbox = ctx.end_round();
             let n = ctx.n();
             let mut routed: BTreeMap<LaneId, Inbox> = submitted
                 .iter()
-                .map(|&id| (id, Inbox::new(n)))
+                .map(|&id| (id, Inbox::pooled(n, &self.pool)))
                 .collect();
-            for msgs in inbox.by_sender {
-                for msg in msgs {
-                    let target = self
-                        .lanes
-                        .iter()
-                        .find(|(id, lane)| routed.contains_key(id) && scope_matches(msg.tag, &lane.scope))
-                        .map(|(&id, _)| id);
-                    if let Some(id) = target {
-                        routed.get_mut(&id).unwrap().by_sender[msg.from].push(msg);
-                    }
+            // Drain (rather than consume) the inbox so its buffers flow
+            // back to the simulator's recycling pool on drop.
+            for msg in inbox.drain_messages() {
+                let target = self
+                    .lanes
+                    .iter()
+                    .find(|(id, lane)| routed.contains_key(id) && scope_matches(msg.tag, &lane.scope))
+                    .map(|(&id, _)| id);
+                if let Some(id) = target {
+                    routed.get_mut(&id).unwrap().by_sender[msg.from].push(msg);
                 }
             }
             for (id, sub_inbox) in routed {

@@ -47,6 +47,7 @@ pub mod lanes;
 pub mod trace;
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -120,17 +121,98 @@ pub struct Message {
     pub payload: Bytes,
 }
 
+/// A drained inbox buffer (`n` per-sender message vectors, emptied but
+/// with capacity retained).
+type InboxShell = Vec<Vec<Message>>;
+
+/// Recycling pool for inbox buffers, shared between the coordinator
+/// (which takes a shell per node per round) and the node-side [`Inbox`]
+/// drops (which return them). Without the pool, routing allocated
+/// `vec![Vec::new(); n]` per node per round; with it, a steady-state
+/// simulation reuses the same `2n` shells — and their grown inner
+/// capacities — for the whole run.
+#[derive(Debug, Default)]
+struct InboxPool {
+    shells: std::sync::Mutex<Vec<InboxShell>>,
+    /// Maximum shells retained (`2n`: one in flight + one draining per
+    /// node). Returns beyond the cap are dropped, bounding memory even
+    /// if a protocol clones or hoards inboxes.
+    cap: usize,
+}
+
+impl InboxPool {
+    fn with_cap(cap: usize) -> Arc<Self> {
+        Arc::new(InboxPool {
+            shells: std::sync::Mutex::new(Vec::with_capacity(cap)),
+            cap,
+        })
+    }
+
+    fn take(&self, n: usize) -> InboxShell {
+        let shell = self
+            .shells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop();
+        match shell {
+            Some(mut shell) => {
+                shell.resize_with(n, Vec::new);
+                shell
+            }
+            None => vec![Vec::new(); n],
+        }
+    }
+
+    fn put(&self, mut shell: InboxShell) {
+        for msgs in &mut shell {
+            msgs.clear();
+        }
+        let mut shells = self
+            .shells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if shells.len() < self.cap {
+            shells.push(shell);
+        }
+    }
+}
+
 /// All messages delivered to one node at one round boundary, grouped by
 /// sender.
-#[derive(Debug, Clone, Default)]
+///
+/// Inboxes delivered by the simulator carry a handle to the
+/// coordinator's buffer pool: dropping the inbox (however the protocol
+/// code is structured) returns its buffers for reuse in a later round.
+#[derive(Debug, Default)]
 pub struct Inbox {
-    by_sender: Vec<Vec<Message>>,
+    by_sender: InboxShell,
+    pool: Option<Arc<InboxPool>>,
+}
+
+impl Clone for Inbox {
+    fn clone(&self) -> Self {
+        // Clones are detached from the pool: only the original returns
+        // its (capacity-grown) buffers.
+        Inbox {
+            by_sender: self.by_sender.clone(),
+            pool: None,
+        }
+    }
+}
+
+impl Drop for Inbox {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(std::mem::take(&mut self.by_sender));
+        }
+    }
 }
 
 impl Inbox {
-    fn new(n: usize) -> Self {
+    fn pooled(n: usize, pool: &Arc<InboxPool>) -> Self {
         Inbox {
-            by_sender: vec![Vec::new(); n],
+            by_sender: pool.take(n),
+            pool: Some(pool.clone()),
         }
     }
 
@@ -147,6 +229,13 @@ impl Inbox {
         let msgs = &mut self.by_sender[sender];
         let idx = msgs.iter().position(|m| m.tag == tag)?;
         Some(msgs.remove(idx).payload)
+    }
+
+    /// Drains every message (senders in id order, send order within a
+    /// sender), leaving the inbox empty but its buffers intact for
+    /// recycling. Each [`Message`] still names its authenticated sender.
+    pub fn drain_messages(&mut self) -> impl Iterator<Item = Message> + '_ {
+        self.by_sender.iter_mut().flat_map(|msgs| msgs.drain(..))
     }
 
     /// Total number of messages in the inbox.
@@ -355,6 +444,7 @@ pub fn run_simulation_traced<O: Send + 'static>(
         drop(to_coord);
 
         // Coordinator loop (runs on the scope's owning thread).
+        let pool = InboxPool::with_cap(2 * n);
         let mut active = vec![true; n];
         let mut active_count = n;
         let mut rounds: u64 = 0;
@@ -408,7 +498,9 @@ pub fn run_simulation_traced<O: Send + 'static>(
             }
             metrics.record_round();
             // Route: recipients see messages grouped by sender id.
-            let mut inboxes: Vec<Inbox> = (0..n).map(|_| Inbox::new(n)).collect();
+            // Buffers come from the recycling pool: nodes return them
+            // when they drop the previous round's inbox.
+            let mut inboxes: Vec<Inbox> = (0..n).map(|_| Inbox::pooled(n, &pool)).collect();
             for sub in submissions.into_iter().flatten() {
                 for out in sub {
                     if let Some(trace) = &trace {
@@ -699,6 +791,63 @@ mod tests {
             .collect();
         let cfg = SimConfig::new(2).with_round_timeout(Duration::from_millis(50));
         let _ = run_simulation(cfg, metrics, logics);
+    }
+
+    #[test]
+    fn inbox_pool_recycles_and_caps() {
+        let pool = InboxPool::with_cap(2);
+        let shell = pool.take(3);
+        assert_eq!(shell.len(), 3);
+        // Dropping a pooled inbox returns its (cleared) buffers.
+        {
+            let mut inbox = Inbox::pooled(3, &pool);
+            inbox.by_sender[1].push(Message {
+                from: 1,
+                tag: "t",
+                payload: Bytes::new(),
+            });
+        }
+        let recycled = pool.take(3);
+        assert!(recycled.iter().all(Vec::is_empty), "shells come back drained");
+        // The cap bounds retention.
+        pool.put(vec![Vec::new(); 3]);
+        pool.put(vec![Vec::new(); 3]);
+        pool.put(vec![Vec::new(); 3]);
+        assert!(
+            pool.shells
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len()
+                <= 2
+        );
+        // Shells are resized to the requested width on reuse.
+        pool.put(vec![Vec::new(); 7]);
+        assert_eq!(pool.take(2).len(), 2);
+        // Clones are detached: dropping one never double-returns.
+        let inbox = Inbox::pooled(2, &pool);
+        let clone = inbox.clone();
+        drop(clone);
+        drop(inbox);
+    }
+
+    #[test]
+    fn drain_messages_yields_sender_order_and_empties() {
+        let (res, _) = run(3, |id| {
+            Box::new(move |ctx: &mut NodeCtx| {
+                if id != 2 {
+                    ctx.send(2, "m", vec![id as u8], 8);
+                    ctx.send(2, "m", vec![id as u8 + 10], 8);
+                    ctx.end_round();
+                    return Vec::new();
+                }
+                let mut inbox = ctx.end_round();
+                let drained: Vec<(usize, u8)> =
+                    inbox.drain_messages().map(|m| (m.from, m.payload[0])).collect();
+                assert!(inbox.is_empty());
+                drained
+            })
+        });
+        assert_eq!(res.outputs[2], vec![(0, 0), (0, 10), (1, 1), (1, 11)]);
     }
 
     #[test]

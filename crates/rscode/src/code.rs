@@ -1,9 +1,11 @@
 //! The core `(n, k)` Reed-Solomon code over one field.
 
 use std::fmt;
-use std::marker::PhantomData;
+use std::sync::Arc;
 
-use mvbc_gf::{interpolate, Field, Poly};
+use mvbc_gf::{kernels, Field};
+
+use crate::weights::{weights_for, InterpWeights};
 
 /// Errors produced by Reed-Solomon encoding and decoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +82,12 @@ pub struct ReedSolomon<F: Field> {
     n: usize,
     k: usize,
     alphas: Vec<F>,
-    _marker: PhantomData<F>,
+    /// Row-major `n × k` generator matrix: `gen[j * k + i] = alpha_j^i`,
+    /// so `codeword[j] = Σ_i data[i] · gen[j * k + i]`. Precomputed once
+    /// so encoding is a matrix application (and, striped, a sequence of
+    /// [`kernels::addmul_slice`] calls) instead of per-stripe Horner
+    /// evaluation through a freshly-allocated polynomial.
+    gen: Vec<F>,
 }
 
 impl<F: Field> ReedSolomon<F> {
@@ -98,12 +105,16 @@ impl<F: Field> ReedSolomon<F> {
                 field_order: F::ORDER,
             });
         }
-        Ok(ReedSolomon {
-            n,
-            k,
-            alphas: (0..n).map(F::alpha).collect(),
-            _marker: PhantomData,
-        })
+        let alphas: Vec<F> = (0..n).map(F::alpha).collect();
+        let mut gen = Vec::with_capacity(n * k);
+        for &a in &alphas {
+            let mut power = F::ONE;
+            for _ in 0..k {
+                gen.push(power);
+                power *= a;
+            }
+        }
+        Ok(ReedSolomon { n, k, alphas, gen })
     }
 
     /// Creates the paper's code `C_2t`: an `(n, n - 2t)` code.
@@ -137,7 +148,20 @@ impl<F: Field> ReedSolomon<F> {
         self.alphas[j]
     }
 
-    /// Encodes `k` data symbols into an `n`-symbol codeword.
+    /// One generator-matrix row: the `k` multipliers producing codeword
+    /// position `j` (`[1, alpha_j, alpha_j^2, ...]`).
+    pub(crate) fn gen_row(&self, j: usize) -> &[F] {
+        &self.gen[j * self.k..(j + 1) * self.k]
+    }
+
+    /// The memoized interpolation weights for a `k`-subset of positions
+    /// (see [`crate::weights`]).
+    pub(crate) fn interp_weights(&self, positions: &[usize]) -> Arc<InterpWeights<F>> {
+        weights_for(positions, &self.alphas)
+    }
+
+    /// Encodes `k` data symbols into an `n`-symbol codeword by applying
+    /// the precomputed generator matrix (no intermediate allocation).
     ///
     /// # Errors
     ///
@@ -149,29 +173,38 @@ impl<F: Field> ReedSolomon<F> {
                 got: data.len(),
             });
         }
-        let p = Poly::from_coeffs(data.to_vec());
-        Ok(self.alphas.iter().map(|&a| p.eval(a)).collect())
+        Ok((0..self.n).map(|j| dot(self.gen_row(j), data)).collect())
     }
 
     /// Validates `(position, symbol)` pairs: positions in range, no
-    /// duplicates.
-    fn validate_positions(&self, symbols: &[(usize, F)]) -> Result<(), CodeError> {
-        let mut seen = vec![false; self.n];
-        for &(pos, _) in symbols {
-            if pos >= self.n {
-                return Err(CodeError::BadPosition { position: pos });
+    /// duplicates. Uses a stack bitset for codes up to 128 positions
+    /// (every practical geometry), so the hot path never allocates.
+    fn validate_positions<S>(&self, symbols: &[(usize, S)]) -> Result<(), CodeError> {
+        if self.n <= 128 {
+            let mut seen: u128 = 0;
+            for &(pos, _) in symbols {
+                if pos >= self.n || seen & (1u128 << pos) != 0 {
+                    return Err(CodeError::BadPosition { position: pos });
+                }
+                seen |= 1u128 << pos;
             }
-            if seen[pos] {
-                return Err(CodeError::BadPosition { position: pos });
+        } else {
+            let mut seen = vec![false; self.n];
+            for &(pos, _) in symbols {
+                if pos >= self.n || seen[pos] {
+                    return Err(CodeError::BadPosition { position: pos });
+                }
+                seen[pos] = true;
             }
-            seen[pos] = true;
         }
         Ok(())
     }
 
-    /// Interpolates the data polynomial through the first `k` of the given
-    /// symbols and verifies the remaining ones lie on it.
-    fn interpolate_checked(&self, symbols: &[(usize, F)]) -> Result<Poly<F>, CodeError> {
+    /// Fetches the interpolation weights for the first `k` supplied
+    /// symbols and verifies every remaining symbol lies on the polynomial
+    /// they determine (incremental check via the cached extension rows —
+    /// no re-interpolation).
+    fn checked_weights(&self, symbols: &[(usize, F)]) -> Result<Arc<InterpWeights<F>>, CodeError> {
         self.validate_positions(symbols)?;
         if symbols.len() < self.k {
             return Err(CodeError::NotEnoughSymbols {
@@ -179,21 +212,37 @@ impl<F: Field> ReedSolomon<F> {
                 got: symbols.len(),
             });
         }
-        let pts: Vec<(F, F)> = symbols[..self.k]
-            .iter()
-            .map(|&(pos, s)| (self.alphas[pos], s))
-            .collect();
-        let p = interpolate(&pts).expect("alphas are pairwise distinct");
-        if p.degree().is_some_and(|d| d >= self.k) {
-            // Cannot happen: interpolation through k points has degree < k.
-            return Err(CodeError::Inconsistent);
-        }
+        let mut positions = [0usize; 128];
+        let positions = if self.k <= 128 {
+            for (slot, &(pos, _)) in positions.iter_mut().zip(&symbols[..self.k]) {
+                *slot = pos;
+            }
+            &positions[..self.k]
+        } else {
+            return self.checked_weights_large(symbols);
+        };
+        let w = self.interp_weights(positions);
         for &(pos, s) in &symbols[self.k..] {
-            if p.eval(self.alphas[pos]) != s {
+            if predict(&w, pos, symbols) != s {
                 return Err(CodeError::Inconsistent);
             }
         }
-        Ok(p)
+        Ok(w)
+    }
+
+    /// Cold path of [`ReedSolomon::checked_weights`] for `k > 128`.
+    fn checked_weights_large(
+        &self,
+        symbols: &[(usize, F)],
+    ) -> Result<Arc<InterpWeights<F>>, CodeError> {
+        let positions: Vec<usize> = symbols[..self.k].iter().map(|&(pos, _)| pos).collect();
+        let w = self.interp_weights(&positions);
+        for &(pos, s) in &symbols[self.k..] {
+            if predict(&w, pos, symbols) != s {
+                return Err(CodeError::Inconsistent);
+            }
+        }
+        Ok(w)
     }
 
     /// The paper's consistency predicate `V/A ∈ C_2t`: do the given
@@ -211,7 +260,7 @@ impl<F: Field> ReedSolomon<F> {
         if symbols.len() < self.k {
             return Ok(true);
         }
-        match self.interpolate_checked(symbols) {
+        match self.checked_weights(symbols) {
             Ok(_) => Ok(true),
             Err(CodeError::Inconsistent) => Ok(false),
             Err(e) => Err(e),
@@ -229,9 +278,11 @@ impl<F: Field> ReedSolomon<F> {
     ///   codeword.
     /// - [`CodeError::BadPosition`] for invalid positions.
     pub fn decode(&self, symbols: &[(usize, F)]) -> Result<Vec<F>, CodeError> {
-        let p = self.interpolate_checked(symbols)?;
-        let mut data = p.into_coeffs();
-        data.resize(self.k, F::ZERO);
+        let w = self.checked_weights(symbols)?;
+        let mut data = vec![F::ZERO; self.k];
+        for (j, &(_, y)) in symbols[..self.k].iter().enumerate() {
+            kernels::addmul_slice(y, w.coeff_row(j), &mut data);
+        }
         Ok(data)
     }
 
@@ -241,9 +292,23 @@ impl<F: Field> ReedSolomon<F> {
     ///
     /// Same as [`ReedSolomon::decode`].
     pub fn extend(&self, symbols: &[(usize, F)]) -> Result<Vec<F>, CodeError> {
-        let p = self.interpolate_checked(symbols)?;
-        Ok(self.alphas.iter().map(|&a| p.eval(a)).collect())
+        let w = self.checked_weights(symbols)?;
+        Ok((0..self.n).map(|pos| predict(&w, pos, symbols)).collect())
     }
+}
+
+/// Dot product `Σ row[i] · data[i]` (both length `k`).
+fn dot<F: Field>(row: &[F], data: &[F]) -> F {
+    row.iter().zip(data).fold(F::ZERO, |acc, (&g, &d)| acc + g * d)
+}
+
+/// Predicted codeword symbol at `pos` from the first `k` supplied
+/// symbols, via the cached extension row.
+fn predict<F: Field>(w: &InterpWeights<F>, pos: usize, symbols: &[(usize, F)]) -> F {
+    w.ext_row(pos)
+        .iter()
+        .zip(&symbols[..w.k])
+        .fold(F::ZERO, |acc, (&e, &(_, y))| acc + e * y)
 }
 
 #[cfg(test)]

@@ -47,8 +47,10 @@
 
 pub mod berlekamp_welch;
 mod code;
+pub mod reference;
 mod striped;
 mod symbol;
+mod weights;
 
 pub use code::{CodeError, ReedSolomon};
 pub use striped::{StripedCode, StripedLayout};

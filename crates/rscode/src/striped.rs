@@ -12,7 +12,7 @@
 //! behave exactly as in the paper because they hold iff they hold
 //! stripe-wise.
 
-use mvbc_gf::{Field, Gf65536};
+use mvbc_gf::{kernels, Field, Gf65536};
 
 use crate::{CodeError, ReedSolomon, Symbol};
 
@@ -105,26 +105,41 @@ impl StripedCode {
         self.layout.chunk_bytes as u64 * 8
     }
 
-    /// Splits (and zero-pads) a value into `k` chunks of stripe elements.
+    /// The underlying single-codeword Reed-Solomon code.
+    pub(crate) fn rs(&self) -> &ReedSolomon<Gf65536> {
+        &self.rs
+    }
+
+    /// Splits (and zero-pads) a value into `k` chunks of stripe elements,
+    /// reading straight out of `value` (no padded intermediate copy).
     fn chunks(&self, value: &[u8]) -> Vec<Vec<Gf65536>> {
         let l = &self.layout;
-        let mut padded = value.to_vec();
-        padded.resize(l.chunk_bytes * l.k, 0);
-        padded
-            .chunks(l.chunk_bytes)
-            .map(|chunk| {
-                let mut elems = Vec::with_capacity(l.stripes);
-                for s in 0..l.stripes {
-                    let b0 = chunk.get(2 * s).copied().unwrap_or(0);
-                    let b1 = chunk.get(2 * s + 1).copied().unwrap_or(0);
-                    elems.push(Gf65536::new(u16::from_be_bytes([b0, b1])));
-                }
-                elems
+        (0..l.k)
+            .map(|ci| {
+                let base = ci * l.chunk_bytes;
+                (0..l.stripes)
+                    .map(|s| {
+                        // Stay within this chunk: an odd chunk's final
+                        // stripe pads with a zero byte, not the first
+                        // byte of the next chunk.
+                        let b0 = value.get(base + 2 * s).copied().unwrap_or(0);
+                        let b1 = if 2 * s + 1 < l.chunk_bytes {
+                            value.get(base + 2 * s + 1).copied().unwrap_or(0)
+                        } else {
+                            0
+                        };
+                        Gf65536::new(u16::from_be_bytes([b0, b1]))
+                    })
+                    .collect()
             })
             .collect()
     }
 
     /// Encodes a value into `n` coded symbols (line 1(a) of Algorithm 1).
+    ///
+    /// Applies the precomputed generator matrix stripe-parallel: each
+    /// matrix entry feeds one [`kernels::addmul_slice`] across all
+    /// stripes at once, instead of running Horner evaluation per stripe.
     ///
     /// # Errors
     ///
@@ -139,12 +154,10 @@ impl StripedCode {
             });
         }
         let chunks = self.chunks(value);
-        let mut out: Vec<Vec<Gf65536>> = vec![Vec::with_capacity(l.stripes); l.n];
-        for s in 0..l.stripes {
-            let data: Vec<Gf65536> = chunks.iter().map(|c| c[s]).collect();
-            let cw = self.rs.encode(&data)?;
-            for (pos, &sym) in cw.iter().enumerate() {
-                out[pos].push(sym);
+        let mut out: Vec<Vec<Gf65536>> = vec![vec![Gf65536::ZERO; l.stripes]; l.n];
+        for (i, chunk) in chunks.iter().enumerate() {
+            for (pos, row) in out.iter_mut().enumerate() {
+                kernels::addmul_slice(self.rs.gen_row(pos)[i], chunk, row);
             }
         }
         Ok(out
@@ -155,7 +168,7 @@ impl StripedCode {
 
     /// Checks the supplied symbols have the expected stripe count and valid,
     /// non-duplicated positions.
-    fn validate(&self, symbols: &[(usize, Symbol)]) -> Result<(), CodeError> {
+    pub(crate) fn validate_shape(&self, symbols: &[(usize, Symbol)]) -> Result<(), CodeError> {
         let l = &self.layout;
         let mut seen = vec![false; l.n];
         for (pos, sym) in symbols {
@@ -177,21 +190,71 @@ impl StripedCode {
         symbols.iter().map(|(pos, sym)| (*pos, sym.elems()[s])).collect()
     }
 
+    /// The cached interpolation weights for the first `k` supplied
+    /// symbols' positions, after basic shape validation.
+    fn weights(
+        &self,
+        symbols: &[(usize, Symbol)],
+    ) -> Result<std::sync::Arc<crate::weights::InterpWeights<Gf65536>>, CodeError> {
+        let l = &self.layout;
+        if symbols.len() < l.k {
+            return Err(CodeError::NotEnoughSymbols {
+                needed: l.k,
+                got: symbols.len(),
+            });
+        }
+        let positions: Vec<usize> = symbols[..l.k].iter().map(|&(pos, _)| pos).collect();
+        Ok(self.rs.interp_weights(&positions))
+    }
+
+    /// Verifies every symbol beyond the first `k` against the cached
+    /// polynomial of the first `k`, stripe-parallel: one extension-row
+    /// application per extra symbol, reusing one scratch slice.
+    fn verify_extras(
+        &self,
+        w: &crate::weights::InterpWeights<Gf65536>,
+        symbols: &[(usize, Symbol)],
+        scratch: &mut Vec<Gf65536>,
+    ) -> Result<(), CodeError> {
+        let l = &self.layout;
+        for (pos, sym) in &symbols[l.k..] {
+            scratch.clear();
+            scratch.resize(l.stripes, Gf65536::ZERO);
+            for (j, (_, base)) in symbols[..l.k].iter().enumerate() {
+                kernels::addmul_slice(w.ext_row(*pos)[j], base.elems(), scratch);
+            }
+            if scratch.as_slice() != sym.elems() {
+                return Err(CodeError::Inconsistent);
+            }
+        }
+        Ok(())
+    }
+
     /// The consistency predicate `V/A ∈ C_2t` lifted to striped symbols:
     /// true iff every stripe is consistent.
+    ///
+    /// Incremental: the polynomial determined by the first `k` symbols is
+    /// never materialized — each extra symbol is checked against the
+    /// memoized extension row for its position, across all stripes at
+    /// once.
     ///
     /// # Errors
     ///
     /// Returns [`CodeError::BadPosition`] / [`CodeError::WrongDataLength`]
     /// for malformed input.
     pub fn is_consistent(&self, symbols: &[(usize, Symbol)]) -> Result<bool, CodeError> {
-        self.validate(symbols)?;
-        for s in 0..self.layout.stripes {
-            if !self.rs.is_consistent(&self.stripe_pairs(symbols, s))? {
-                return Ok(false);
-            }
+        self.validate_shape(symbols)?;
+        if symbols.len() < self.layout.k {
+            // Vacuously consistent: some codeword always extends them.
+            return Ok(true);
         }
-        Ok(true)
+        let w = self.weights(symbols)?;
+        let mut scratch = Vec::new();
+        match self.verify_extras(&w, symbols, &mut scratch) {
+            Ok(()) => Ok(true),
+            Err(CodeError::Inconsistent) => Ok(false),
+            Err(e) => Err(e),
+        }
     }
 
     /// Decodes the value from at least `k` symbols, verifying all supplied
@@ -204,34 +267,57 @@ impl StripedCode {
     /// - [`CodeError::BadPosition`] / [`CodeError::WrongDataLength`] for
     ///   malformed input.
     pub fn decode_value(&self, symbols: &[(usize, Symbol)]) -> Result<Vec<u8>, CodeError> {
-        self.validate(symbols)?;
+        self.validate_shape(symbols)?;
         let l = &self.layout;
-        let mut chunks: Vec<Vec<u8>> = vec![Vec::with_capacity(l.chunk_bytes); l.k];
-        for s in 0..l.stripes {
-            let data = self.rs.decode(&self.stripe_pairs(symbols, s))?;
-            for (ci, elem) in data.iter().enumerate() {
+        let w = self.weights(symbols)?;
+        let mut scratch = Vec::new();
+        self.verify_extras(&w, symbols, &mut scratch)?;
+        let mut out = Vec::with_capacity(l.value_bytes);
+        for ci in 0..l.k {
+            // chunk_ci[s] = Σ_j coeff[j][ci] · y_j[s], stripe-parallel.
+            scratch.clear();
+            scratch.resize(l.stripes, Gf65536::ZERO);
+            for (j, (_, sym)) in symbols[..l.k].iter().enumerate() {
+                kernels::addmul_slice(w.coeff_row(j)[ci], sym.elems(), &mut scratch);
+            }
+            let take = l.chunk_bytes.min(l.value_bytes.saturating_sub(out.len()));
+            for (bi, elem) in scratch.iter().enumerate() {
+                if 2 * bi >= take {
+                    break;
+                }
                 let bytes = (elem.to_u64() as u16).to_be_bytes();
-                chunks[ci].push(bytes[0]);
-                chunks[ci].push(bytes[1]);
+                out.push(bytes[0]);
+                if 2 * bi + 1 < take {
+                    out.push(bytes[1]);
+                }
             }
         }
-        let mut out = Vec::with_capacity(l.value_bytes);
-        for chunk in chunks {
-            out.extend_from_slice(&chunk[..l.chunk_bytes.min(chunk.len())]);
-        }
-        out.truncate(l.value_bytes);
+        debug_assert_eq!(out.len(), l.value_bytes);
         Ok(out)
     }
 
     /// Recomputes the full `n`-symbol codeword from at least `k` consistent
-    /// symbols.
+    /// symbols, directly from the cached extension rows (no intermediate
+    /// decode-then-re-encode pass).
     ///
     /// # Errors
     ///
     /// Same as [`StripedCode::decode_value`].
     pub fn extend_symbols(&self, symbols: &[(usize, Symbol)]) -> Result<Vec<Symbol>, CodeError> {
-        let value = self.decode_value(symbols)?;
-        self.encode_value(&value)
+        self.validate_shape(symbols)?;
+        let l = &self.layout;
+        let w = self.weights(symbols)?;
+        let mut scratch = Vec::new();
+        self.verify_extras(&w, symbols, &mut scratch)?;
+        let mut out = Vec::with_capacity(l.n);
+        for pos in 0..l.n {
+            let mut elems = vec![Gf65536::ZERO; l.stripes];
+            for (j, (_, sym)) in symbols[..l.k].iter().enumerate() {
+                kernels::addmul_slice(w.ext_row(pos)[j], sym.elems(), &mut elems);
+            }
+            out.push(Symbol::new(elems, self.symbol_bits()));
+        }
+        Ok(out)
     }
 
     /// Error-*correcting* decode via Berlekamp-Welch, tolerating up to
@@ -254,7 +340,7 @@ impl StripedCode {
         &self,
         symbols: &[(usize, Symbol)],
     ) -> Result<Vec<u8>, CodeError> {
-        self.validate(symbols)?;
+        self.validate_shape(symbols)?;
         let l = &self.layout;
         if symbols.len() < l.k {
             return Err(CodeError::NotEnoughSymbols {

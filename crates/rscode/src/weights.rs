@@ -1,0 +1,251 @@
+//! Per-position-set interpolation weights, memoized process-wide.
+//!
+//! Every consistency check and erasure decode interpolates the data
+//! polynomial through the symbols at some `k`-subset of codeword
+//! positions. The subset is a function of *which peers responded* — it is
+//! stable across the stripes of one value, across the generations of one
+//! broadcast, and across the slots of a replicated-log run — while the
+//! symbol values change every time. Interpolating from scratch therefore
+//! repeats the same O(k²) Lagrange-basis construction per stripe per
+//! call.
+//!
+//! [`InterpWeights`] hoists everything that depends only on the position
+//! set out of the data path:
+//!
+//! - `coeff[j * k + i]`: the coefficient of `x^i` in the Lagrange basis
+//!   polynomial `L_j` of the `j`-th supplied position. The interpolated
+//!   polynomial's coefficient vector is `Σ_j y_j · coeff_row(j)` — one
+//!   [`addmul_slice`](mvbc_gf::kernels::addmul_slice) per supplied
+//!   symbol.
+//! - `ext[pos * k + j] = L_j(alpha_pos)` for *every* codeword position
+//!   `pos`: predicting the codeword symbol at `pos` from the `k`
+//!   supplied symbols is a `k`-term dot product, which is how extra
+//!   symbols are verified incrementally (and how `extend` recomputes
+//!   missing symbols) without re-interpolating.
+//!
+//! Weights are cached in a process-wide map keyed by
+//! `(field, n, positions)` — the evaluation points `alpha_i = g^i` are a
+//! pure function of the field, so two codes with equal geometry share
+//! entries even across separately-constructed [`ReedSolomon`] values
+//! (e.g. the per-slot codes of an SMR run).
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use mvbc_gf::Field;
+
+/// Precomputed Lagrange machinery for one `(n, positions)` geometry.
+#[derive(Debug)]
+pub(crate) struct InterpWeights<F: Field> {
+    /// Number of supplied positions (`positions.len()`, the code's `k`).
+    pub k: usize,
+    /// `coeff[j * k + i]` = coefficient of `x^i` in `L_j`.
+    pub coeff: Vec<F>,
+    /// `ext[pos * k + j]` = `L_j(alpha_pos)`, for `pos` in `0..n`.
+    pub ext: Vec<F>,
+}
+
+impl<F: Field> InterpWeights<F> {
+    /// Builds the weights for interpolation through `positions` over a
+    /// code with evaluation points `alphas` (length `n`).
+    fn build(positions: &[usize], alphas: &[F]) -> Self {
+        let k = positions.len();
+        let n = alphas.len();
+        let xs: Vec<F> = positions.iter().map(|&p| alphas[p]).collect();
+
+        // Master polynomial M(x) = Π_j (x - x_j), built incrementally.
+        // In characteristic 2, (x - x_j) == (x + x_j).
+        let mut master = vec![F::ZERO; k + 1];
+        master[0] = F::ONE;
+        for (deg, &x) in xs.iter().enumerate() {
+            for i in (0..=deg).rev() {
+                let c = master[i];
+                master[i + 1] += c;
+                master[i] = c * x;
+            }
+        }
+
+        let mut coeff = vec![F::ZERO; k * k];
+        let mut denom_inv = vec![F::ZERO; k];
+        let mut quotient = vec![F::ZERO; k];
+        for (j, &xj) in xs.iter().enumerate() {
+            // Synthetic division: q_j = M / (x - x_j), degree k - 1.
+            quotient[k - 1] = master[k];
+            for i in (1..k).rev() {
+                quotient[i - 1] = master[i] + xj * quotient[i];
+            }
+            // denom_j = q_j(x_j) = Π_{m != j} (x_j - x_m), non-zero
+            // because the evaluation points are pairwise distinct.
+            let denom = quotient.iter().rev().fold(F::ZERO, |acc, &q| acc * xj + q);
+            let dinv = denom.inv().expect("distinct points give non-zero denominator");
+            denom_inv[j] = dinv;
+            for i in 0..k {
+                coeff[j * k + i] = quotient[i] * dinv;
+            }
+        }
+
+        // Extension rows. For a supplied position, L_j(x_j') = δ_{jj'}
+        // (identity row); for any other position p,
+        // L_j(alpha_p) = M(alpha_p) / ((alpha_p - x_j) · denom_j).
+        let mut ext = vec![F::ZERO; n * k];
+        for (pos, &apos) in alphas.iter().enumerate() {
+            let row = &mut ext[pos * k..(pos + 1) * k];
+            if let Some(j) = positions.iter().position(|&p| p == pos) {
+                row[j] = F::ONE;
+                continue;
+            }
+            let m_at = master.iter().rev().fold(F::ZERO, |acc, &c| acc * apos + c);
+            for (j, &xj) in xs.iter().enumerate() {
+                let diff_inv = (apos - xj).inv().expect("alpha points are pairwise distinct");
+                row[j] = m_at * diff_inv * denom_inv[j];
+            }
+        }
+
+        InterpWeights { k, coeff, ext }
+    }
+
+    /// One Lagrange-basis coefficient row (`L_j`'s coefficients).
+    pub fn coeff_row(&self, j: usize) -> &[F] {
+        &self.coeff[j * self.k..(j + 1) * self.k]
+    }
+
+    /// The extension row for codeword position `pos`.
+    pub fn ext_row(&self, pos: usize) -> &[F] {
+        &self.ext[pos * self.k..(pos + 1) * self.k]
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    field: TypeId,
+    n: usize,
+    positions: Box<[usize]>,
+}
+
+type CacheMap = HashMap<Key, Arc<dyn Any + Send + Sync>>;
+
+/// Entries are small (O(nk) field elements); the cap only guards against
+/// pathological churn (e.g. fuzzing over thousands of geometries).
+const CACHE_CAP: usize = 1 << 14;
+
+fn cache() -> &'static RwLock<CacheMap> {
+    static CACHE: OnceLock<RwLock<CacheMap>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Returns the (possibly cached) weights for interpolating through
+/// `positions` over the code with evaluation points `alphas`.
+///
+/// Read-mostly: repeated calls with a known position set never take the
+/// write lock.
+pub(crate) fn weights_for<F: Field>(positions: &[usize], alphas: &[F]) -> Arc<InterpWeights<F>> {
+    // The cache key omits the evaluation points because they must be the
+    // canonical `alpha(0..n)` — the only points `ReedSolomon::new`
+    // produces. A future caller with bespoke points would silently share
+    // entries with the canonical geometry; catch that in debug builds.
+    debug_assert!(
+        alphas.iter().enumerate().all(|(i, &a)| a == F::alpha(i)),
+        "weights cache requires canonical evaluation points alpha(0..n)"
+    );
+    let key = Key {
+        field: TypeId::of::<F>(),
+        n: alphas.len(),
+        positions: positions.into(),
+    };
+    {
+        let map = cache().read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(entry) = map.get(&key) {
+            return entry.clone().downcast::<InterpWeights<F>>().expect("cache entry type");
+        }
+    }
+    let built: Arc<InterpWeights<F>> = Arc::new(InterpWeights::build(positions, alphas));
+    let mut map = cache().write().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    let entry = map
+        .entry(key)
+        .or_insert_with(|| built.clone() as Arc<dyn Any + Send + Sync>);
+    entry.clone().downcast::<InterpWeights<F>>().expect("cache entry type")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvbc_gf::{interpolate, Gf256, Gf65536, Poly};
+
+    fn alphas<F: Field>(n: usize) -> Vec<F> {
+        (0..n).map(F::alpha).collect()
+    }
+
+    #[test]
+    fn coeff_rows_match_lagrange_interpolation() {
+        let als = alphas::<Gf256>(7);
+        let positions = [1usize, 4, 6];
+        let w = weights_for::<Gf256>(&positions, &als);
+        let ys = [Gf256::new(17), Gf256::new(200), Gf256::new(3)];
+        // Matrix path.
+        let mut coeffs = vec![Gf256::ZERO; 3];
+        for (j, &y) in ys.iter().enumerate() {
+            mvbc_gf::kernels::addmul_slice(y, w.coeff_row(j), &mut coeffs);
+        }
+        // Reference path.
+        let pts: Vec<_> = positions.iter().zip(&ys).map(|(&p, &y)| (als[p], y)).collect();
+        let p = interpolate(&pts).unwrap();
+        let mut expect = p.into_coeffs();
+        expect.resize(3, Gf256::ZERO);
+        assert_eq!(coeffs, expect);
+    }
+
+    #[test]
+    fn ext_rows_predict_codeword_symbols() {
+        let als = alphas::<Gf65536>(9);
+        let positions = [0usize, 2, 5, 8];
+        let w = weights_for::<Gf65536>(&positions, &als);
+        let poly = Poly::from_coeffs(vec![
+            Gf65536::new(11),
+            Gf65536::new(22),
+            Gf65536::new(33),
+            Gf65536::new(44),
+        ]);
+        let ys: Vec<Gf65536> = positions.iter().map(|&p| poly.eval(als[p])).collect();
+        for (pos, &a) in als.iter().enumerate() {
+            let pred = w
+                .ext_row(pos)
+                .iter()
+                .zip(&ys)
+                .fold(Gf65536::ZERO, |acc, (&e, &y)| acc + e * y);
+            assert_eq!(pred, poly.eval(a), "position {pos}");
+        }
+    }
+
+    #[test]
+    fn identity_rows_for_supplied_positions() {
+        let als = alphas::<Gf256>(5);
+        let positions = [3usize, 1];
+        let w = weights_for::<Gf256>(&positions, &als);
+        assert_eq!(w.ext_row(3), &[Gf256::ONE, Gf256::ZERO]);
+        assert_eq!(w.ext_row(1), &[Gf256::ZERO, Gf256::ONE]);
+    }
+
+    #[test]
+    fn cache_returns_shared_entries() {
+        let als = alphas::<Gf256>(6);
+        let a = weights_for::<Gf256>(&[0, 2, 4], &als);
+        let b = weights_for::<Gf256>(&[0, 2, 4], &als);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = weights_for::<Gf256>(&[0, 2, 5], &als);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn single_point_interpolation_is_constant() {
+        let als = alphas::<Gf256>(4);
+        let w = weights_for::<Gf256>(&[2], &als);
+        assert_eq!(w.coeff_row(0), &[Gf256::ONE]);
+        for pos in 0..4 {
+            assert_eq!(w.ext_row(pos), &[Gf256::ONE], "constant extends everywhere");
+        }
+    }
+}

@@ -1,12 +1,13 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
-//! Wraps `std::sync::Mutex` behind the two API differences the
-//! workspace relies on: `lock()` returns the guard directly (poisoning is
-//! absorbed — a poisoned std lock still yields its inner data, matching
-//! parking_lot's no-poisoning model), and the constructor is `const` so
-//! locks can back `static` items such as the metrics tag interner.
-//! Only `Mutex` is provided — nothing in-tree uses `RwLock` or the
-//! non-blocking accessors; grow the shim if a call site appears.
+//! Wraps `std::sync::Mutex`/`std::sync::RwLock` behind the two API
+//! differences the workspace relies on: `lock()`/`read()`/`write()`
+//! return the guard directly (poisoning is absorbed — a poisoned std
+//! lock still yields its inner data, matching parking_lot's
+//! no-poisoning model), and the constructors are `const` so locks can
+//! back `static` items such as the metrics tag interner. Only the
+//! blocking accessors are provided; grow the shim if another call site
+//! appears.
 
 #![forbid(unsafe_code)]
 
@@ -38,6 +39,41 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock without poisoning: any number of concurrent
+/// readers, or one writer.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a lock around `value` (usable in `const`/`static` context).
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +92,26 @@ mod tests {
         let m = Mutex::new(vec![1, 2]);
         m.lock().push(3);
         assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    static STATIC_RWLOCK: RwLock<Option<u32>> = RwLock::new(None);
+
+    #[test]
+    fn static_rwlock_works() {
+        assert!(STATIC_RWLOCK.read().is_none());
+        *STATIC_RWLOCK.write() = Some(7);
+        assert_eq!(*STATIC_RWLOCK.read(), Some(7));
+    }
+
+    #[test]
+    fn rwlock_round_trip_and_concurrent_reads() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(*r1, *r2);
+        }
+        l.write().push(3);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
     }
 }
