@@ -13,6 +13,9 @@ usage:
   mvbc smr       --n <N> --t <T> --slots <S> [--batch <CMDS>] [--batch-bytes <B>]
                  [--attack none|equivocate|silent] [--byz <ID>] [--seed <N>]
                  [--pipeline <W>] [--round-timeout-secs <SECS>]
+                 [--latency-model fixed:<T>|jitter:<BASE>:<JIT>|wan:<INTRA>:<INTER>[:<JIT>]]
+                 [--topology clique|clusters:<A,B,...>] [--net-seed <N>]
+                 [--partition <START>:<HEAL>:<ISLAND>[:drop|delay]] [--max-vtime <T>]
   mvbc info      --n <N> --t <T> --l <BYTES>
   mvbc soak      [--runs <N>] [--seed <N>]
 
@@ -35,7 +38,18 @@ flags:
   --pipeline number of log slots in flight concurrently (smr only, default 1;
              committed log is identical at every depth)
   --round-timeout-secs  coordinator wedge-detection timeout (smr only,
-             default 60; raise for long logs on slow machines)";
+             default 60; raise for long logs on slow machines)
+  --latency-model  per-link latency in virtual ticks (smr only); selecting one
+             switches the run to the event-driven scheduling policy
+  --topology clique (default) or clusters:<A,B,...> with sizes summing to n
+             (smr only; wan latency needs a clusters topology)
+  --partition  cut the network from virtual time START until HEAL; ISLAND is
+             c<K> (cluster K) or a comma-separated node list; crossing
+             messages are dropped (default) or delayed until HEAL (smr only;
+             drop violates the synchronous model — expect degraded slots,
+             delay preserves agreement by stretching rounds across the cut)
+  --net-seed seed for latency jitter sampling (smr only, default 1)
+  --max-vtime  abort if the virtual clock exceeds this tick budget (smr only)";
 
 /// `Broadcast_Single_Bit` substrate selection (paper §4's seam).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +99,172 @@ pub enum BroadcastAttack {
     SilentSource,
     /// One echo-set member corrupts its relays.
     LyingEcho,
+}
+
+/// Parsed `--latency-model` value: per-link latency in virtual ticks
+/// (the CLI-side mirror of [`mvbc_netsim::LinkModel`]; converted — and
+/// validated against `n` — in `commands::smr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencySpec {
+    /// `fixed:<t>`: every link takes exactly `t` ticks.
+    Fixed(u64),
+    /// `jitter:<base>:<jitter>`: `base` plus uniform jitter in `[0, jitter]`.
+    Jitter {
+        /// Base latency in ticks.
+        base: u64,
+        /// Uniform jitter bound in ticks.
+        jitter: u64,
+    },
+    /// `wan:<intra>:<inter>[:<jitter>]`: cluster-dependent base latency
+    /// (requires a `clusters` topology).
+    Wan {
+        /// Base latency inside a cluster.
+        intra: u64,
+        /// Base latency across clusters.
+        inter: u64,
+        /// Uniform jitter bound added to either base.
+        jitter: u64,
+    },
+}
+
+/// Parsed `--topology` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// `clique`: one flat site, every link equivalent.
+    Clique,
+    /// `clusters:<a,b,...>`: consecutive node ranges of the given sizes
+    /// (they must sum to `n`; checked in `commands::smr`).
+    Clusters(Vec<usize>),
+}
+
+/// The island selector of a `--partition` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IslandSpec {
+    /// `c<k>`: every node of cluster `k` (requires a `clusters` topology).
+    Cluster(usize),
+    /// A comma-separated node-id list, e.g. `0,1,5`.
+    Nodes(Vec<usize>),
+}
+
+/// Parsed `--partition <start>:<heal>:<island>[:drop|delay]`: the island
+/// is cut off from the rest of the network for virtual times in
+/// `[start, heal)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Virtual time at which the cut forms.
+    pub start: u64,
+    /// Virtual time at which the cut heals.
+    pub heal: u64,
+    /// Which nodes are cut off.
+    pub island: IslandSpec,
+    /// `true`: crossing messages are silently lost (`drop`, the default);
+    /// `false`: they are delayed until `heal` (`delay`).
+    pub drop: bool,
+}
+
+/// The event-driven network flags of an `smr` run, grouped. All `None`
+/// (the default) keeps the legacy round-barrier scheduling policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSpec {
+    /// `--latency-model`.
+    pub latency: Option<LatencySpec>,
+    /// `--topology`.
+    pub topology: Option<TopologySpec>,
+    /// `--partition`.
+    pub partition: Option<PartitionSpec>,
+    /// `--net-seed` (defaults to 1 when event-driven).
+    pub net_seed: Option<u64>,
+    /// `--max-vtime`.
+    pub max_vtime: Option<u64>,
+}
+
+impl NetSpec {
+    /// Whether any flag selecting event-driven scheduling was given.
+    /// (`--max-vtime` alone also counts: a virtual-time budget under the
+    /// round-barrier policy caps the round count.)
+    pub fn is_event_driven(&self) -> bool {
+        self.latency.is_some()
+            || self.topology.is_some()
+            || self.partition.is_some()
+            || self.net_seed.is_some()
+    }
+}
+
+fn parse_latency(s: &str) -> Result<LatencySpec, ParseError> {
+    let num = |v: &str| {
+        v.parse::<u64>()
+            .map_err(|_| err(format!("--latency-model expects tick counts, got '{v}'")))
+    };
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        ["fixed", t] => Ok(LatencySpec::Fixed(num(t)?)),
+        ["jitter", b, j] => Ok(LatencySpec::Jitter { base: num(b)?, jitter: num(j)? }),
+        ["wan", a, e] => Ok(LatencySpec::Wan { intra: num(a)?, inter: num(e)?, jitter: 0 }),
+        ["wan", a, e, j] => Ok(LatencySpec::Wan { intra: num(a)?, inter: num(e)?, jitter: num(j)? }),
+        _ => Err(err(format!(
+            "--latency-model expects fixed:<t>, jitter:<base>:<jitter> or \
+             wan:<intra>:<inter>[:<jitter>], got '{s}'"
+        ))),
+    }
+}
+
+fn parse_topology(s: &str) -> Result<TopologySpec, ParseError> {
+    if s == "clique" {
+        return Ok(TopologySpec::Clique);
+    }
+    let Some(sizes) = s.strip_prefix("clusters:") else {
+        return Err(err(format!("--topology expects clique or clusters:<a,b,...>, got '{s}'")));
+    };
+    let sizes: Vec<usize> = sizes
+        .split(',')
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| err(format!("--topology expects cluster sizes, got '{v}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    if sizes.is_empty() || sizes.contains(&0) {
+        return Err(err("--topology clusters need at least one node each"));
+    }
+    Ok(TopologySpec::Clusters(sizes))
+}
+
+fn parse_partition(s: &str) -> Result<PartitionSpec, ParseError> {
+    let bad = || {
+        err(format!(
+            "--partition expects <start>:<heal>:<island>[:drop|delay] with start < heal, got '{s}'"
+        ))
+    };
+    let parts: Vec<&str> = s.split(':').collect();
+    let (start, heal, island, mode) = match parts.as_slice() {
+        [a, b, i] => (a, b, i, "drop"),
+        [a, b, i, m] => (a, b, i, *m),
+        _ => return Err(bad()),
+    };
+    let start: u64 = start.parse().map_err(|_| bad())?;
+    let heal: u64 = heal.parse().map_err(|_| bad())?;
+    if start >= heal {
+        return Err(bad());
+    }
+    let island = match island.strip_prefix('c') {
+        Some(k) if k.chars().all(|c| c.is_ascii_digit()) && !k.is_empty() => {
+            IslandSpec::Cluster(k.parse().map_err(|_| bad())?)
+        }
+        _ => IslandSpec::Nodes(
+            island
+                .split(',')
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| err(format!("--partition island expects c<k> or node ids, got '{v}'")))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+    };
+    let drop = match mode {
+        "drop" => true,
+        "delay" => false,
+        other => return Err(err(format!("--partition mode is drop or delay, got '{other}'"))),
+    };
+    Ok(PartitionSpec { start, heal, island, drop })
 }
 
 /// A parsed command line.
@@ -150,6 +330,9 @@ pub enum Command {
         pipeline: usize,
         /// Coordinator wedge-detection timeout in seconds.
         round_timeout_secs: Option<u64>,
+        /// Event-driven network flags (latency model, topology,
+        /// partitions, jitter seed, virtual-time budget).
+        net: NetSpec,
     },
     /// Randomized soak: many consensus runs with random parameters,
     /// inputs and adversaries, asserting the paper's properties on each.
@@ -246,6 +429,13 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             byz: flags.usize_of("--byz")?.unwrap_or(n.saturating_sub(1)),
             pipeline,
             round_timeout_secs: flags.usize_of("--round-timeout-secs")?.map(|s| s as u64),
+            net: NetSpec {
+                latency: flags.value_of("--latency-model").map(parse_latency).transpose()?,
+                topology: flags.value_of("--topology").map(parse_topology).transpose()?,
+                partition: flags.value_of("--partition").map(parse_partition).transpose()?,
+                net_seed: flags.usize_of("--net-seed")?.map(|s| s as u64),
+                max_vtime: flags.usize_of("--max-vtime")?.map(|v| v as u64),
+            },
         });
     }
     let n = flags.required_usize("--n")?;
@@ -367,6 +557,7 @@ mod tests {
                 byz: 3,
                 pipeline: 1,
                 round_timeout_secs: None,
+                net: NetSpec::default(),
             }
         );
         let cmd = parse(&argv(
@@ -401,6 +592,69 @@ mod tests {
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --pipeline 0")).is_err());
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --pipeline x")).is_err());
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --round-timeout-secs x")).is_err());
+    }
+
+    #[test]
+    fn parses_smr_net_flags() {
+        let cmd = parse(&argv(
+            "smr --n 9 --t 2 --slots 12 --latency-model wan:100:3000:200 \
+             --topology clusters:3,3,3 --partition 5000:20000:c2:delay \
+             --net-seed 11 --max-vtime 900000",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Smr { net, .. } => {
+                assert_eq!(net.latency, Some(LatencySpec::Wan { intra: 100, inter: 3000, jitter: 200 }));
+                assert_eq!(net.topology, Some(TopologySpec::Clusters(vec![3, 3, 3])));
+                assert_eq!(
+                    net.partition,
+                    Some(PartitionSpec {
+                        start: 5000,
+                        heal: 20000,
+                        island: IslandSpec::Cluster(2),
+                        drop: false,
+                    })
+                );
+                assert_eq!(net.net_seed, Some(11));
+                assert_eq!(net.max_vtime, Some(900_000));
+                assert!(net.is_event_driven());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // The remaining latency forms, a node-list island, and the
+        // default drop behaviour.
+        assert_eq!(parse_latency("fixed:50"), Ok(LatencySpec::Fixed(50)));
+        assert_eq!(parse_latency("jitter:10:5"), Ok(LatencySpec::Jitter { base: 10, jitter: 5 }));
+        assert_eq!(parse_latency("wan:10:100"), Ok(LatencySpec::Wan { intra: 10, inter: 100, jitter: 0 }));
+        assert_eq!(
+            parse_partition("10:20:0,1,5"),
+            Ok(PartitionSpec { start: 10, heal: 20, island: IslandSpec::Nodes(vec![0, 1, 5]), drop: true })
+        );
+        // --max-vtime alone keeps the round-barrier policy.
+        match parse(&argv("smr --n 4 --t 1 --slots 5 --max-vtime 100")).unwrap() {
+            Command::Smr { net, .. } => {
+                assert!(!net.is_event_driven());
+                assert_eq!(net.max_vtime, Some(100));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_net_flags() {
+        assert!(parse_latency("fixed").is_err());
+        assert!(parse_latency("warp:1:2").is_err());
+        assert!(parse_latency("jitter:1:x").is_err());
+        assert!(parse_topology("ring").is_err());
+        assert!(parse_topology("clusters:").is_err());
+        assert!(parse_topology("clusters:3,0,3").is_err());
+        assert!(parse_partition("20:10:c0").is_err()); // start >= heal
+        assert!(parse_partition("10:20:c0:teleport").is_err());
+        assert!(parse_partition("10:20").is_err());
+        assert!(parse_partition("10:20:cx").is_err());
+        assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --latency-model bogus")).is_err());
+        assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --topology bogus")).is_err());
+        assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --partition bogus")).is_err());
     }
 
     #[test]

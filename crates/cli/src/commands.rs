@@ -7,13 +7,17 @@ use mvbc_broadcast::attacks::{EquivocatingSource, LyingEcho, SilentSource};
 use mvbc_broadcast::{simulate_broadcast, BroadcastConfig, BroadcastHooks, NoopBroadcastHooks};
 use mvbc_core::{dsel, simulate_consensus_traced, ConsensusConfig, NoopHooks, ProtocolHooks};
 use mvbc_netsim::trace::TraceSink;
+use mvbc_netsim::{LinkModel, NetModel, Partition, PartitionBehavior, SchedulingPolicy, Topology};
 use mvbc_metrics::MetricsSink;
 use mvbc_smr::{
     simulate_smr, synthetic_workloads, EquivocatingPrimary, HonestReplica, SilentPrimary,
     SmrConfig, SmrHooks,
 };
 
-use crate::args::{BroadcastAttack, BsbChoice, Command, ConsensusAttack, SmrAttack};
+use crate::args::{
+    BroadcastAttack, BsbChoice, Command, ConsensusAttack, IslandSpec, LatencySpec, NetSpec,
+    SmrAttack, TopologySpec,
+};
 
 fn workload(len: usize, seed: u64) -> Vec<u8> {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
@@ -47,7 +51,8 @@ pub fn run(cmd: Command) {
             byz,
             pipeline,
             round_timeout_secs,
-        } => smr(n, t, slots, batch, batch_bytes, seed, attack, byz, pipeline, round_timeout_secs),
+            net,
+        } => smr(n, t, slots, batch, batch_bytes, seed, attack, byz, pipeline, round_timeout_secs, net),
         Command::Info { n, t, l } => info(n, t, l),
         Command::Soak { runs, seed } => soak(runs, seed),
     }
@@ -308,6 +313,63 @@ fn broadcast(
     );
 }
 
+/// Converts the CLI's [`NetSpec`] into a [`SchedulingPolicy`], exiting
+/// with a friendly message when the flags are inconsistent with `n`
+/// (cluster sizes that don't sum to `n`, a `c<k>` island without a
+/// clusters topology, out-of-range partition node ids, or wan latency on
+/// a clique).
+fn build_policy(n: usize, net: &NetSpec) -> SchedulingPolicy {
+    if !net.is_event_driven() {
+        return SchedulingPolicy::RoundBarrier;
+    }
+    let invalid = |msg: String| -> ! {
+        eprintln!("invalid network flags: {msg}");
+        std::process::exit(2);
+    };
+    let topology = match &net.topology {
+        None | Some(TopologySpec::Clique) => Topology::Clique,
+        Some(TopologySpec::Clusters(sizes)) => {
+            if sizes.iter().sum::<usize>() != n {
+                invalid(format!("cluster sizes {sizes:?} must sum to n = {n}"));
+            }
+            Topology::Clusters(sizes.clone())
+        }
+    };
+    let link = match net.latency.unwrap_or(LatencySpec::Fixed(1)) {
+        LatencySpec::Fixed(t) => LinkModel::Fixed(t),
+        LatencySpec::Jitter { base, jitter } => LinkModel::UniformJitter { base, jitter },
+        LatencySpec::Wan { intra, inter, jitter } => {
+            if matches!(topology, Topology::Clique) {
+                invalid("the wan latency model needs --topology clusters:<a,b,...>".into());
+            }
+            LinkModel::Wan { intra, inter, jitter }
+        }
+    };
+    let mut model = NetModel::new(link, topology).with_seed(net.net_seed.unwrap_or(1));
+    if let Some(p) = &net.partition {
+        let behavior = if p.drop { PartitionBehavior::Drop } else { PartitionBehavior::Delay };
+        let partition = match &p.island {
+            IslandSpec::Cluster(c) => {
+                let Topology::Clusters(sizes) = &model.topology else {
+                    invalid(format!("island c{c} needs --topology clusters:<a,b,...>"));
+                };
+                if *c >= sizes.len() {
+                    invalid(format!("island c{c} is out of range ({} cluster(s))", sizes.len()));
+                }
+                Partition::of_cluster(&model.topology, *c, p.start, p.heal, behavior)
+            }
+            IslandSpec::Nodes(ids) => {
+                if let Some(bad) = ids.iter().find(|id| **id >= n) {
+                    invalid(format!("partition node id {bad} is out of range (n = {n})"));
+                }
+                Partition { start: p.start, heal: p.heal, island: ids.clone(), behavior }
+            }
+        };
+        model = model.with_partition(partition);
+    }
+    SchedulingPolicy::EventDriven(model)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn smr(
     n: usize,
@@ -320,7 +382,9 @@ fn smr(
     byz: usize,
     pipeline: usize,
     round_timeout_secs: Option<u64>,
+    net: NetSpec,
 ) {
+    let policy = build_policy(n, &net);
     let mut cfg = match batch_bytes {
         Some(b) => SmrConfig::with_batch_bytes(n, t, slots, batch, b),
         None => SmrConfig::new(n, t, slots, batch),
@@ -329,7 +393,11 @@ fn smr(
         eprintln!("invalid parameters: {e}");
         std::process::exit(2);
     })
-    .with_pipeline(pipeline.max(1));
+    .with_pipeline(pipeline.max(1))
+    .with_policy(policy.clone());
+    if let Some(limit) = net.max_vtime {
+        cfg = cfg.with_max_vtime(limit);
+    }
     cfg.round_timeout = round_timeout_secs.map(std::time::Duration::from_secs);
     if byz >= n {
         eprintln!("invalid parameters: --byz {byz} is out of range");
@@ -369,6 +437,15 @@ fn smr(
         cfg.pipeline,
     );
     println!("attack: {attack:?}; Byzantine replicas: {faulty:?}");
+    if let SchedulingPolicy::EventDriven(model) = &policy {
+        println!(
+            "scheduling: event-driven ({:?} over {:?}, {} partition(s), jitter seed {})",
+            model.link,
+            model.topology,
+            model.partitions.len(),
+            model.seed,
+        );
+    }
     let honest: Vec<usize> = (0..n).filter(|i| !faulty.contains(i)).collect();
     let agreed = honest
         .windows(2)
@@ -399,6 +476,12 @@ fn smr(
         snap.rounds(),
         bits as f64 / r.committed_commands.max(1) as f64,
         snap.rounds() as f64 / r.slots.len().max(1) as f64,
+    );
+    println!(
+        "virtual time: {} tick(s) ({:.1} ticks/slot) under the {} policy",
+        run.vtime,
+        run.vtime as f64 / r.slots.len().max(1) as f64,
+        policy.name(),
     );
     for s in r.slots.iter().take(8) {
         println!(

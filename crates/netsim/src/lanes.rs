@@ -183,12 +183,14 @@ impl<O: Send + 'static> LaneMux<O> {
         let id = ctx.id();
         let n = ctx.n();
         let round = ctx.round();
+        let vtime = ctx.vtime();
         let metrics = ctx.metrics().clone();
         let join = std::thread::spawn(move || {
             let mut lane_ctx = NodeCtx {
                 id,
                 n,
                 round,
+                vtime,
                 pending: Vec::new(),
                 to_coord: up_tx.clone(),
                 from_coord: down_rx,
@@ -254,7 +256,14 @@ impl<O: Send + 'static> LaneMux<O> {
             let n = ctx.n();
             let mut routed: BTreeMap<LaneId, Inbox> = submitted
                 .iter()
-                .map(|&id| (id, Inbox::pooled(n, &self.pool)))
+                .map(|&id| {
+                    let mut sub_inbox = Inbox::pooled(n, &self.pool);
+                    // Lanes share the physical round's clock: every
+                    // sub-inbox (and thus every lane's `vtime()`) carries
+                    // the round-end time of the underlying context.
+                    sub_inbox.vtime = inbox.vtime();
+                    (id, sub_inbox)
+                })
                 .collect();
             // Drain (rather than consume) the inbox so its buffers flow
             // back to the simulator's recycling pool on drop.
@@ -265,7 +274,14 @@ impl<O: Send + 'static> LaneMux<O> {
                     .find(|(id, lane)| routed.contains_key(id) && scope_matches(msg.tag, &lane.scope))
                     .map(|(&id, _)| id);
                 if let Some(id) = target {
-                    routed.get_mut(&id).unwrap().by_sender[msg.from].push(msg);
+                    let lane_inbox = routed.get_mut(&id).unwrap_or_else(|| {
+                        panic!(
+                            "lane routing: no inbox for lane {id} \
+                             (tag {:?} from node {} routed to a lane that never submitted)",
+                            msg.tag, msg.from
+                        )
+                    });
+                    lane_inbox.by_sender[msg.from].push(msg);
                 }
             }
             for (id, sub_inbox) in routed {

@@ -13,7 +13,7 @@
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
-use crate::NodeId;
+use crate::{NodeId, VirtualTime};
 
 /// One delivered message, as observed by the coordinator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +31,9 @@ pub struct TraceEvent {
     pub logical_bits: u64,
     /// Serialized payload size.
     pub payload_bytes: u64,
+    /// Virtual delivery time: the round counter under the round-barrier
+    /// policy, the arrival tick under the event-driven policy.
+    pub vtime: VirtualTime,
 }
 
 /// Shared, thread-safe recorder of [`TraceEvent`]s.
@@ -104,6 +107,12 @@ impl TraceSink {
     /// An order-sensitive FNV-1a digest of the whole trace. Two runs
     /// with identical inputs produce identical digests; golden tests pin
     /// this value to detect any unintended protocol change.
+    ///
+    /// The digest deliberately excludes [`TraceEvent::vtime`]: it hashes
+    /// *what the protocol said* (round, endpoints, tag, sizes), not when
+    /// the network delivered it, so golden digests pinned under the
+    /// round-barrier policy stay valid and a latency-model change never
+    /// masquerades as a protocol change.
     pub fn digest(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut eat = |bytes: &[u8]| {
@@ -124,14 +133,18 @@ impl TraceSink {
         h
     }
 
-    /// Renders the trace as CSV (`round,from,to,tag,logical_bits,payload_bytes`).
+    /// Renders the trace as CSV
+    /// (`round,from,to,tag,logical_bits,payload_bytes,vtime`).
+    ///
+    /// The virtual-time column is kept last so positional consumers of
+    /// the original columns keep working.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("round,from,to,tag,logical_bits,payload_bytes\n");
+        let mut out = String::from("round,from,to,tag,logical_bits,payload_bytes,vtime\n");
         for e in self.events() {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{}",
-                e.round, e.from, e.to, e.tag, e.logical_bits, e.payload_bytes
+                "{},{},{},{},{},{},{}",
+                e.round, e.from, e.to, e.tag, e.logical_bits, e.payload_bytes, e.vtime
             );
         }
         out
@@ -150,6 +163,7 @@ mod tests {
             tag: "test.tag",
             logical_bits: 8,
             payload_bytes: 1,
+            vtime: round,
         }
     }
 
@@ -201,6 +215,17 @@ mod tests {
         sink.record(event(3, 2, 1));
         let csv = sink.to_csv();
         assert!(csv.starts_with("round,from,to,tag"));
-        assert!(csv.contains("3,2,1,test.tag,8,1"));
+        assert!(csv.contains("3,2,1,test.tag,8,1,3"));
+        // The virtual-time column stays last.
+        assert!(csv.lines().next().unwrap().ends_with(",vtime"));
+    }
+
+    #[test]
+    fn digest_excludes_vtime() {
+        let a = TraceSink::new();
+        a.record(event(1, 0, 1));
+        let b = TraceSink::new();
+        b.record(TraceEvent { vtime: 999, ..event(1, 0, 1) });
+        assert_eq!(a.digest(), b.digest(), "latency shape must not change the digest");
     }
 }

@@ -81,8 +81,8 @@ mod state_machine;
 
 pub use batch::{decode_batch, encode_batch, synthetic_workloads, BatchBuilder, Command};
 pub use log::{
-    run_replicated_log, run_replicated_log_pipelined, simulate_smr, simulate_smr_with, SmrConfig,
-    SmrConfigError, SmrReport, SmrRun,
+    run_replicated_log, run_replicated_log_pipelined, simulate_smr, simulate_smr_traced,
+    simulate_smr_with, SmrConfig, SmrConfigError, SmrReport, SmrRun,
 };
 pub use primary::{plan_for_slot, primary_for_slot, SlotPlan};
 pub use slot::{AgreedSlot, EquivocatingPrimary, HonestReplica, SilentPrimary, SlotReport, SmrHooks};

@@ -10,7 +10,10 @@ use mvbc_bsb::{BsbDriver, PhaseKingDriver};
 use mvbc_core::DiagGraph;
 use mvbc_metrics::MetricsSink;
 use mvbc_netsim::lanes::{LaneId, LaneMux};
-use mvbc_netsim::{run_simulation, slot_scope, NodeCtx, NodeLogic, SimConfig};
+use mvbc_netsim::trace::TraceSink;
+use mvbc_netsim::{
+    run_simulation_traced, slot_scope, NodeCtx, NodeLogic, SchedulingPolicy, SimConfig, VirtualTime,
+};
 
 use crate::batch::{decode_batch, encode_batch, BatchBuilder, Command};
 use crate::primary::{plan_for_slot, SlotPlan};
@@ -78,8 +81,20 @@ pub struct SmrConfig {
     pub gen_bytes: Option<usize>,
     /// Coordinator wedge-detection timeout for the underlying simulation
     /// (`None` = the simulator default). Long logs on slow machines can
-    /// raise it.
+    /// raise it. This is a *wall-clock* guard against protocol bugs
+    /// wedging the simulator; it is unrelated to the virtual clock. To
+    /// bound the log in *virtual* time — e.g. a latency SLA under an
+    /// event-driven WAN model — use [`SmrConfig::max_vtime`].
     pub round_timeout: Option<Duration>,
+    /// Scheduling policy of the underlying simulation: the lockstep
+    /// round barrier (default) or an event-driven
+    /// [`NetModel`](mvbc_netsim::NetModel) with per-link latencies,
+    /// topology, and partitions.
+    pub policy: SchedulingPolicy,
+    /// Abort the run if the virtual clock exceeds this many ticks
+    /// (`None` = unbounded). The virtual-time counterpart of
+    /// `round_timeout`.
+    pub max_vtime: Option<VirtualTime>,
     /// Pipeline depth `W`: how many slots may be in flight concurrently
     /// inside the single simulation. `1` (the default) runs slots
     /// back-to-back; larger depths interleave up to `W` broadcast slots
@@ -129,8 +144,24 @@ impl SmrConfig {
             batch_bytes,
             gen_bytes: None,
             round_timeout: None,
+            policy: SchedulingPolicy::RoundBarrier,
+            max_vtime: None,
             pipeline: 1,
         })
+    }
+
+    /// Returns the configuration with a different scheduling policy for
+    /// the underlying simulation (see [`SmrConfig::policy`]).
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns the configuration with a virtual-time budget (see
+    /// [`SmrConfig::max_vtime`]).
+    pub fn with_max_vtime(mut self, limit: VirtualTime) -> Self {
+        self.max_vtime = Some(limit);
+        self
     }
 
     /// Returns the configuration with pipeline depth `w` (see
@@ -285,7 +316,7 @@ pub fn run_replicated_log<S: StateMachine>(
                 // Every active replica is suspect: common knowledge, so
                 // every fault-free replica commits the agreed empty batch
                 // locally — no suspect is handed proposal rights.
-                slots.push(SlotReport::degraded(slot, nominal));
+                slots.push(SlotReport::degraded(slot, nominal, ctx.vtime()));
                 continue;
             }
             SlotPlan::Lead(p) => p,
@@ -340,6 +371,7 @@ pub fn run_replicated_log<S: StateMachine>(
             diagnosis_ran: report.diagnosis_invocations > 0,
             bits_sent_by_me: delta.logical_bits_by_node(me),
             rounds: delta.rounds(),
+            commit_vtime: ctx.vtime(),
         });
     }
 
@@ -540,7 +572,7 @@ pub fn run_replicated_log_pipelined<S: StateMachine>(
                 "live flights are never stale (discards clear them)"
             );
             if flight.degraded {
-                slots.push(SlotReport::degraded(slot, flight.primary));
+                slots.push(SlotReport::degraded(slot, flight.primary, ctx.vtime()));
                 continue;
             }
             let (report, new_diag) = flight.outcome.expect("resolved flight has an outcome");
@@ -595,6 +627,7 @@ pub fn run_replicated_log_pipelined<S: StateMachine>(
                 diagnosis_ran: report.diagnosis_invocations > 0,
                 bits_sent_by_me: flight.bits,
                 rounds: flight.rounds,
+                commit_vtime: ctx.vtime(),
             });
         }
 
@@ -641,6 +674,10 @@ pub struct SmrRun {
     pub stores: Vec<KvStore>,
     /// Synchronous rounds executed for the whole log.
     pub rounds: u64,
+    /// Final virtual time of the simulation (equals `rounds` under the
+    /// round-barrier policy; the latency-model tick of the last round's
+    /// end under an event-driven policy).
+    pub vtime: VirtualTime,
 }
 
 /// Runs a whole replicated log — every slot — inside **one** simulation:
@@ -677,13 +714,31 @@ pub fn simulate_smr(
     hooks: Vec<Box<dyn SmrHooks>>,
     metrics: MetricsSink,
 ) -> SmrRun {
+    simulate_smr_traced(cfg, workloads, hooks, metrics, None)
+}
+
+/// As [`simulate_smr`], additionally recording every delivered message
+/// into `trace` (when supplied). Tracing never changes scheduling or
+/// results; with an event-driven [`SmrConfig::policy`] the trace's
+/// virtual timestamps give the per-message delivery schedule.
+///
+/// # Panics
+///
+/// As [`simulate_smr`].
+pub fn simulate_smr_traced(
+    cfg: &SmrConfig,
+    workloads: Vec<Vec<Command>>,
+    hooks: Vec<Box<dyn SmrHooks>>,
+    metrics: MetricsSink,
+    trace: Option<TraceSink>,
+) -> SmrRun {
     if cfg.pipeline > 1 {
-        return simulate_smr_pipelined(cfg, workloads, hooks, metrics);
+        return simulate_smr_pipelined(cfg, workloads, hooks, metrics, trace);
     }
     let drivers = (0..cfg.n)
         .map(|_| Box::new(PhaseKingDriver) as Box<dyn BsbDriver>)
         .collect();
-    simulate_smr_with(cfg, workloads, hooks, drivers, metrics)
+    simulate_smr_with_traced(cfg, workloads, hooks, drivers, metrics, trace)
 }
 
 /// The pipelined body of [`simulate_smr`]: every replica schedules up to
@@ -695,6 +750,7 @@ fn simulate_smr_pipelined(
     workloads: Vec<Vec<Command>>,
     hooks: Vec<Box<dyn SmrHooks>>,
     metrics: MetricsSink,
+    trace: Option<TraceSink>,
 ) -> SmrRun {
     assert_eq!(workloads.len(), cfg.n, "one command stream per replica");
     assert_eq!(hooks.len(), cfg.n, "one hooks object per replica");
@@ -720,7 +776,7 @@ fn simulate_smr_pipelined(
             }) as NodeLogic<(SmrReport, KvStore)>
         })
         .collect();
-    run_smr_simulation(cfg, logics, metrics)
+    run_smr_simulation(cfg, logics, metrics, trace)
 }
 
 /// As [`simulate_smr`] with one explicit `Broadcast_Single_Bit` driver
@@ -738,6 +794,18 @@ pub fn simulate_smr_with(
     hooks: Vec<Box<dyn SmrHooks>>,
     drivers: Vec<Box<dyn BsbDriver>>,
     metrics: MetricsSink,
+) -> SmrRun {
+    simulate_smr_with_traced(cfg, workloads, hooks, drivers, metrics, None)
+}
+
+/// Traced body of [`simulate_smr_with`].
+fn simulate_smr_with_traced(
+    cfg: &SmrConfig,
+    workloads: Vec<Vec<Command>>,
+    hooks: Vec<Box<dyn SmrHooks>>,
+    drivers: Vec<Box<dyn BsbDriver>>,
+    metrics: MetricsSink,
+    trace: Option<TraceSink>,
 ) -> SmrRun {
     assert_eq!(workloads.len(), cfg.n, "one command stream per replica");
     assert_eq!(hooks.len(), cfg.n, "one hooks object per replica");
@@ -767,25 +835,32 @@ pub fn simulate_smr_with(
             }) as NodeLogic<(SmrReport, KvStore)>
         })
         .collect();
-    run_smr_simulation(cfg, logics, metrics)
+    run_smr_simulation(cfg, logics, metrics, trace)
 }
 
-/// Shared simulation tail of the sequential and pipelined runners.
+/// Shared simulation tail of the sequential and pipelined runners:
+/// translates the log-level configuration (wall-clock timeout,
+/// scheduling policy, virtual-time budget) onto the simulator.
 fn run_smr_simulation(
     cfg: &SmrConfig,
     logics: Vec<NodeLogic<(SmrReport, KvStore)>>,
     metrics: MetricsSink,
+    trace: Option<TraceSink>,
 ) -> SmrRun {
-    let mut sim_cfg = SimConfig::new(cfg.n);
+    let mut sim_cfg = SimConfig::new(cfg.n).with_policy(cfg.policy.clone());
     if let Some(timeout) = cfg.round_timeout {
         sim_cfg = sim_cfg.with_round_timeout(timeout);
     }
-    let result = run_simulation(sim_cfg, metrics, logics);
+    if let Some(limit) = cfg.max_vtime {
+        sim_cfg = sim_cfg.with_max_vtime(limit);
+    }
+    let result = run_simulation_traced(sim_cfg, metrics, trace, logics);
     let (reports, stores) = result.outputs.into_iter().unzip();
     SmrRun {
         reports,
         stores,
         rounds: result.rounds,
+        vtime: result.vtime,
     }
 }
 
@@ -964,6 +1039,74 @@ mod tests {
         assert_eq!(cfg.clone().with_pipeline(4).pipeline, 4);
         let result = std::panic::catch_unwind(|| cfg.with_pipeline(0));
         assert!(result.is_err(), "depth 0 must be rejected");
+    }
+
+    #[test]
+    fn round_barrier_commit_vtimes_are_cumulative_rounds() {
+        let n = 4;
+        let cfg = SmrConfig::new(n, 1, 4, 2).unwrap();
+        let hooks = (0..n).map(|_| HonestReplica::boxed()).collect();
+        let run = simulate_smr(&cfg, workloads(n, 1), hooks, MetricsSink::new());
+        assert_eq!(run.vtime, run.rounds);
+        let r = &run.reports[0];
+        let mut elapsed = 0;
+        for s in &r.slots {
+            elapsed += s.rounds;
+            assert_eq!(s.commit_vtime, elapsed, "slot {} commit clock", s.slot);
+        }
+    }
+
+    #[test]
+    fn event_driven_log_commits_on_the_latency_clock() {
+        use mvbc_netsim::{LinkModel, NetModel, SchedulingPolicy, Topology};
+        let n = 4;
+        let model = NetModel::new(LinkModel::Fixed(100), Topology::Clique);
+        let cfg = SmrConfig::new(n, 1, 4, 2)
+            .unwrap()
+            .with_policy(SchedulingPolicy::EventDriven(model));
+        let hooks = (0..n).map(|_| HonestReplica::boxed()).collect();
+        let run = simulate_smr(&cfg, workloads(n, 1), hooks, MetricsSink::new());
+        for w in run.reports.windows(2) {
+            assert_eq!(w[0].agreed_log(), w[1].agreed_log());
+            assert_eq!(w[0].digest, w[1].digest);
+        }
+        let r = &run.reports[0];
+        assert_eq!(r.committed_commands, n as u64);
+        assert!(
+            r.slots.windows(2).all(|w| w[0].commit_vtime < w[1].commit_vtime),
+            "commit clocks advance slot to slot"
+        );
+        assert!(r.slots.last().unwrap().commit_vtime <= run.vtime);
+        // Message-free rounds cost only compute ticks, but every slot
+        // carries traffic, so the run pays the 100-tick hop per slot at
+        // minimum — far beyond the round-barrier clock (== rounds).
+        assert!(
+            run.vtime >= 100 * cfg.slots as u64,
+            "virtual time {} below one link hop per slot",
+            run.vtime
+        );
+        assert!(run.vtime > run.rounds);
+    }
+
+    #[test]
+    fn smr_max_vtime_budget_is_enforced() {
+        use mvbc_netsim::{LinkModel, NetModel, SchedulingPolicy, Topology};
+        let n = 4;
+        let model = NetModel::new(LinkModel::Fixed(1000), Topology::Clique);
+        let cfg = SmrConfig::new(n, 1, 8, 2)
+            .unwrap()
+            .with_policy(SchedulingPolicy::EventDriven(model))
+            .with_max_vtime(1500);
+        let hooks = (0..n).map(|_| HonestReplica::boxed()).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            simulate_smr(&cfg, workloads(n, 1), hooks, MetricsSink::new())
+        }));
+        let err = result.expect_err("a 1000-tick link blows a 1500-tick budget");
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or_default();
+        assert!(msg.contains("virtual time limit 1500 exceeded"), "got: {msg}");
     }
 
     #[test]

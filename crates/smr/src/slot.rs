@@ -3,14 +3,15 @@
 use mvbc_broadcast::attacks::EquivocatingSource;
 use mvbc_broadcast::attacks::SilentSource;
 use mvbc_broadcast::{BroadcastHooks, NoopBroadcastHooks};
-use mvbc_netsim::NodeId;
+use mvbc_netsim::{NodeId, VirtualTime};
 
 use crate::batch::Command;
 
 /// One replica's record of one committed slot.
 ///
-/// Every field except `bits_sent_by_me` is identical across fault-free
-/// replicas (they are all derived from agreed protocol outputs).
+/// Every field except `bits_sent_by_me` and `commit_vtime` is identical
+/// across fault-free replicas (they are all derived from agreed protocol
+/// outputs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotReport {
     /// Slot index.
@@ -29,6 +30,14 @@ pub struct SlotReport {
     pub bits_sent_by_me: u64,
     /// Synchronous rounds the slot consumed.
     pub rounds: u64,
+    /// *This* replica's virtual clock at the moment the slot committed
+    /// ([`NodeCtx::vtime`](mvbc_netsim::NodeCtx::vtime)): the round
+    /// counter under the round-barrier policy, the latency-model tick
+    /// under the event-driven policy. A local measurement — like
+    /// `bits_sent_by_me`, it is excluded from [`AgreedSlot`], and it
+    /// depends on the scheduling (a pipelined run commits later slots at
+    /// earlier clocks than a sequential one).
+    pub commit_vtime: VirtualTime,
 }
 
 /// The agreement-relevant view of a [`SlotReport`]: every field that is
@@ -58,8 +67,10 @@ impl SlotReport {
     /// broadcast runs, nothing commits, `nominal` is the rotation pick
     /// recorded for reporting only. Shared by the sequential and
     /// pipelined engines so their degraded slots are identical by
-    /// construction.
-    pub fn degraded(slot: u64, nominal: NodeId) -> Self {
+    /// construction. `commit_vtime` is the committing replica's clock
+    /// when it resolved the slot (degraded slots consume no rounds, so
+    /// it is simply the clock carried over from the previous slot).
+    pub fn degraded(slot: u64, nominal: NodeId, commit_vtime: VirtualTime) -> Self {
         SlotReport {
             slot,
             primary: nominal,
@@ -68,6 +79,7 @@ impl SlotReport {
             diagnosis_ran: false,
             bits_sent_by_me: 0,
             rounds: 0,
+            commit_vtime,
         }
     }
 
