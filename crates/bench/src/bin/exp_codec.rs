@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use mvbc_bench::{workload_value, Table};
+use mvbc_bench::{manifest_json, workload_value, Table};
 use mvbc_metrics::MetricsSink;
 use mvbc_rscode::{reference, StripedCode, Symbol};
 use mvbc_smr::{simulate_smr, synthetic_workloads, HonestReplica, SmrConfig, SmrHooks};
@@ -251,7 +251,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"codec\",\n  \"fast\": {fast},\n  \"cases\": [\n{}\n  ],\n  \"headline\": {{ \"n\": {}, \"t\": {}, \"value_bytes\": {}, \"encode_decode_speedup\": {:.2}, \"required_min\": {HEADLINE_MIN_SPEEDUP} }},\n  \"smr_pipeline\": {{ \"n\": {}, \"t\": {}, \"slots\": {}, \"batch_commands\": {}, \"depth\": {}, \"wall_ms\": {:.1}, \"rounds\": {}, \"commands\": {} }}\n}}\n",
+        "{{\n  \"experiment\": \"codec\",\n  \"fast\": {fast},\n  \"manifest\": {},\n  \"cases\": [\n{}\n  ],\n  \"headline\": {{ \"n\": {}, \"t\": {}, \"value_bytes\": {}, \"encode_decode_speedup\": {:.2}, \"required_min\": {HEADLINE_MIN_SPEEDUP} }},\n  \"smr_pipeline\": {{ \"n\": {}, \"t\": {}, \"slots\": {}, \"batch_commands\": {}, \"depth\": {}, \"wall_ms\": {:.1}, \"rounds\": {}, \"commands\": {} }}\n}}\n",
+        manifest_json(HEADLINE.0, HEADLINE.1, SEED, "round-barrier"),
         case_json.join(",\n"),
         HEADLINE.0,
         HEADLINE.1,

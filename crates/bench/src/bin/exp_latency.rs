@@ -22,12 +22,15 @@
 //! `--fast` (the CI perf-smoke mode) trims the slot counts; the JSON
 //! schema is identical.
 
-use mvbc_bench::Table;
+use mvbc_bench::{manifest_json, Table};
 use mvbc_metrics::MetricsSink;
 use mvbc_netsim::{
     LinkModel, NetModel, Partition, PartitionBehavior, SchedulingPolicy, Topology, VirtualTime,
 };
-use mvbc_smr::{simulate_smr, synthetic_workloads, HonestReplica, SmrConfig, SmrHooks, SmrRun};
+use mvbc_smr::{
+    simulate_smr, synthetic_workloads, HonestReplica, SmrConfig, SmrHooks, SmrRun,
+    COMMIT_GAP_TAG,
+};
 
 const N: usize = 9;
 const T: usize = 2;
@@ -58,25 +61,37 @@ struct CaseMeasure {
     final_vtime: VirtualTime,
     vtime_per_slot: f64,
     mean_commit_gap: f64,
+    commit_gap_p50: u64,
+    commit_gap_p99: u64,
     commands: u64,
 }
 
-fn run_log(model: NetModel, depth: usize, slots: usize) -> SmrRun {
+/// Inter-commit-gap percentiles (in ticks) from the run's telemetry
+/// histograms, merged across replicas.
+fn gap_percentiles(metrics: &MetricsSink) -> (u64, u64) {
+    let snap = metrics.telemetry().expect("bench sinks carry telemetry").snapshot();
+    let hist = snap.histogram_for_tag(COMMIT_GAP_TAG);
+    (hist.percentile(50.0), hist.percentile(99.0))
+}
+
+fn run_log(model: NetModel, depth: usize, slots: usize) -> (SmrRun, MetricsSink) {
     let cfg = SmrConfig::new(N, T, slots, BATCH)
         .expect("valid parameters")
         .with_pipeline(depth)
         .with_policy(SchedulingPolicy::EventDriven(model));
     let workloads = synthetic_workloads(N, slots.div_ceil(N) * BATCH, SEED);
     let hooks: Vec<Box<dyn SmrHooks>> = (0..N).map(|_| HonestReplica::boxed()).collect();
-    let run = simulate_smr(&cfg, workloads, hooks, MetricsSink::new());
+    let metrics = MetricsSink::with_telemetry();
+    let run = simulate_smr(&cfg, workloads, hooks, metrics.clone());
     for w in run.reports.windows(2) {
         assert_eq!(w[0].agreed_log(), w[1].agreed_log(), "harness: replicas diverged");
     }
-    run
+    (run, metrics)
 }
 
 fn measure_case(topology: &'static str, model: NetModel, depth: usize, slots: usize) -> CaseMeasure {
-    let run = run_log(model, depth, slots);
+    let (run, metrics) = run_log(model, depth, slots);
+    let (commit_gap_p50, commit_gap_p99) = gap_percentiles(&metrics);
     let report = &run.reports[0];
     assert_eq!(report.slots.len(), slots, "harness: {topology} log committed too few slots");
     // Mean virtual-time gap between successive commits at replica 0 —
@@ -95,6 +110,8 @@ fn measure_case(topology: &'static str, model: NetModel, depth: usize, slots: us
         final_vtime: run.vtime,
         vtime_per_slot: run.vtime as f64 / slots as f64,
         mean_commit_gap,
+        commit_gap_p50,
+        commit_gap_p99,
         commands: report.committed_commands,
     }
 }
@@ -107,6 +124,8 @@ struct PartitionMeasure {
     rounds: u64,
     commands: u64,
     fallback_slots: u64,
+    commit_gap_p50: u64,
+    commit_gap_p99: u64,
 }
 
 /// The acceptance scenario: a 3-cluster WAN log with cluster 2 cut off
@@ -121,7 +140,8 @@ fn measure_partition(depth: usize, slots: usize, start: VirtualTime, heal: Virtu
         heal,
         PartitionBehavior::Delay,
     ));
-    let run = run_log(model, depth, slots);
+    let (run, metrics) = run_log(model, depth, slots);
+    let (commit_gap_p50, commit_gap_p99) = gap_percentiles(&metrics);
     let report = &run.reports[0];
     assert_eq!(report.slots.len(), slots, "partition run committed too few slots");
     assert!(
@@ -141,6 +161,8 @@ fn measure_partition(depth: usize, slots: usize, start: VirtualTime, heal: Virtu
         rounds: run.rounds,
         commands: report.committed_commands,
         fallback_slots: report.fallback_slots,
+        commit_gap_p50,
+        commit_gap_p99,
     }
 }
 
@@ -169,6 +191,8 @@ fn main() {
         "final vtime",
         "vtime/slot",
         "commit gap",
+        "gap p50",
+        "gap p99",
     ]);
     for c in &cases {
         table.row(vec![
@@ -179,6 +203,8 @@ fn main() {
             c.final_vtime.to_string(),
             format!("{:.0}", c.vtime_per_slot),
             format!("{:.0}", c.mean_commit_gap),
+            c.commit_gap_p50.to_string(),
+            c.commit_gap_p99.to_string(),
         ]);
     }
     println!(
@@ -199,13 +225,14 @@ fn main() {
         .iter()
         .map(|c| {
             format!(
-                "    {{ \"topology\": \"{}\", \"depth\": {}, \"n\": {N}, \"t\": {T}, \"slots\": {}, \"rounds\": {}, \"final_vtime\": {}, \"vtime_per_slot\": {:.1}, \"mean_commit_gap\": {:.1}, \"commands\": {} }}",
-                c.topology, c.depth, c.slots, c.rounds, c.final_vtime, c.vtime_per_slot, c.mean_commit_gap, c.commands,
+                "    {{ \"topology\": \"{}\", \"depth\": {}, \"n\": {N}, \"t\": {T}, \"slots\": {}, \"rounds\": {}, \"final_vtime\": {}, \"vtime_per_slot\": {:.1}, \"mean_commit_gap\": {:.1}, \"commit_gap_p50\": {}, \"commit_gap_p99\": {}, \"commands\": {} }}",
+                c.topology, c.depth, c.slots, c.rounds, c.final_vtime, c.vtime_per_slot, c.mean_commit_gap, c.commit_gap_p50, c.commit_gap_p99, c.commands,
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"latency\",\n  \"fast\": {fast},\n  \"cases\": [\n{}\n  ],\n  \"partition\": {{ \"topology\": \"wan-3x3\", \"island\": \"c2\", \"behavior\": \"delay\", \"start\": {}, \"heal\": {}, \"slots\": {}, \"final_vtime\": {}, \"rounds\": {}, \"commands\": {}, \"fallback_slots\": {} }}\n}}\n",
+        "{{\n  \"experiment\": \"latency\",\n  \"fast\": {fast},\n  \"manifest\": {},\n  \"cases\": [\n{}\n  ],\n  \"partition\": {{ \"topology\": \"wan-3x3\", \"island\": \"c2\", \"behavior\": \"delay\", \"start\": {}, \"heal\": {}, \"slots\": {}, \"final_vtime\": {}, \"rounds\": {}, \"commands\": {}, \"fallback_slots\": {}, \"commit_gap_p50\": {}, \"commit_gap_p99\": {} }}\n}}\n",
+        manifest_json(N, T, SEED, "event-driven"),
         case_json.join(",\n"),
         partition.start,
         partition.heal,
@@ -214,6 +241,8 @@ fn main() {
         partition.rounds,
         partition.commands,
         partition.fallback_slots,
+        partition.commit_gap_p50,
+        partition.commit_gap_p99,
     );
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/BENCH_latency.json", json).expect("write results/BENCH_latency.json");

@@ -17,9 +17,12 @@
 
 use std::time::Instant;
 
-use mvbc_bench::Table;
+use mvbc_bench::{manifest_json, Table};
 use mvbc_metrics::MetricsSink;
-use mvbc_smr::{simulate_smr, synthetic_workloads, Command, HonestReplica, SmrConfig, SmrHooks};
+use mvbc_smr::{
+    simulate_smr, synthetic_workloads, Command, HonestReplica, SmrConfig, SmrHooks,
+    COMMIT_GAP_TAG,
+};
 
 const N: usize = 7;
 const T: usize = 2;
@@ -36,6 +39,8 @@ struct Measured {
     commands: u64,
     digest: u64,
     restarts: u64,
+    commit_gap_p50: u64,
+    commit_gap_p99: u64,
 }
 
 fn run_at_depth(depth: usize) -> Measured {
@@ -44,7 +49,7 @@ fn run_at_depth(depth: usize) -> Measured {
         .with_pipeline(depth);
     let workloads = synthetic_workloads(N, SLOTS.div_ceil(N) * BATCH, SEED);
     let hooks: Vec<Box<dyn SmrHooks>> = (0..N).map(|_| HonestReplica::boxed()).collect();
-    let metrics = MetricsSink::new();
+    let metrics = MetricsSink::with_telemetry();
     let start = Instant::now();
     let run = simulate_smr(&cfg, workloads, hooks, metrics.clone());
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -53,6 +58,11 @@ fn run_at_depth(depth: usize) -> Measured {
     }
     let r = &run.reports[0];
     assert_eq!(r.fallback_slots, 0, "harness: fault-free run fell back");
+    let gaps = metrics
+        .telemetry()
+        .expect("bench sinks carry telemetry")
+        .snapshot()
+        .histogram_for_tag(COMMIT_GAP_TAG);
     Measured {
         depth,
         rounds: run.rounds,
@@ -61,6 +71,8 @@ fn run_at_depth(depth: usize) -> Measured {
         commands: r.committed_commands,
         digest: r.digest,
         restarts: r.restarts,
+        commit_gap_p50: gaps.percentile(50.0),
+        commit_gap_p99: gaps.percentile(99.0),
     }
 }
 
@@ -109,13 +121,14 @@ fn main() {
         .iter()
         .map(|m| {
             format!(
-                "    {{ \"depth\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"logical_bits\": {}, \"restarts\": {}, \"digest\": \"{:016x}\" }}",
-                m.depth, m.rounds, m.wall_ms, m.bits, m.restarts, m.digest
+                "    {{ \"depth\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"logical_bits\": {}, \"restarts\": {}, \"commit_gap_p50\": {}, \"commit_gap_p99\": {}, \"digest\": \"{:016x}\" }}",
+                m.depth, m.rounds, m.wall_ms, m.bits, m.restarts, m.commit_gap_p50, m.commit_gap_p99, m.digest
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"smr_pipeline\",\n  \"config\": {{ \"n\": {N}, \"t\": {T}, \"slots\": {SLOTS}, \"batch_commands\": {BATCH}, \"total_commands\": {} }},\n  \"runs\": [\n{}\n  ],\n  \"round_speedup_depth4\": {speedup4:.2},\n  \"digests_identical\": true\n}}\n",
+        "{{\n  \"experiment\": \"smr_pipeline\",\n  \"manifest\": {},\n  \"config\": {{ \"n\": {N}, \"t\": {T}, \"slots\": {SLOTS}, \"batch_commands\": {BATCH}, \"total_commands\": {} }},\n  \"runs\": [\n{}\n  ],\n  \"round_speedup_depth4\": {speedup4:.2},\n  \"digests_identical\": true\n}}\n",
+        manifest_json(N, T, SEED, "round-barrier"),
         seq.commands,
         per_depth.join(",\n"),
     );

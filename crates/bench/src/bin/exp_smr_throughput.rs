@@ -21,7 +21,7 @@
 //! cargo run --release -p mvbc-bench --bin exp_smr_throughput
 //! ```
 
-use mvbc_bench::{fmt_bits, Table};
+use mvbc_bench::{fmt_bits, manifest_json, Table};
 use mvbc_broadcast::{simulate_broadcast, BroadcastConfig, BroadcastHooks, NoopBroadcastHooks};
 use mvbc_metrics::MetricsSink;
 use mvbc_smr::{
@@ -143,8 +143,9 @@ fn main() {
     println!("{}", table.to_markdown());
     println!("amortization: batched log is {ratio:.2}x cheaper per command");
 
+    let manifest = manifest_json(N, T, SEED, "round-barrier");
     let json = format!(
-        "{{\n  \"experiment\": \"smr_throughput\",\n  \"config\": {{ \"n\": {N}, \"t\": {T}, \"slots\": {SLOTS}, \"batch_commands\": {BATCH}, \"command_bytes\": {}, \"total_commands\": {}, \"total_payload_bytes\": {payload_bytes} }},\n  \"batched_log\": {{ \"gen_bytes\": {}, \"logical_bits\": {}, \"rounds\": {}, \"bytes_per_command\": {:.2} }},\n  \"single_shot\": {{ \"gen_bytes\": {}, \"logical_bits\": {}, \"rounds\": {}, \"bytes_per_command\": {:.2} }},\n  \"amortization_ratio\": {ratio:.2}\n}}\n",
+        "{{\n  \"experiment\": \"smr_throughput\",\n  \"manifest\": {manifest},\n  \"config\": {{ \"n\": {N}, \"t\": {T}, \"slots\": {SLOTS}, \"batch_commands\": {BATCH}, \"command_bytes\": {}, \"total_commands\": {}, \"total_payload_bytes\": {payload_bytes} }},\n  \"batched_log\": {{ \"gen_bytes\": {}, \"logical_bits\": {}, \"rounds\": {}, \"bytes_per_command\": {:.2} }},\n  \"single_shot\": {{ \"gen_bytes\": {}, \"logical_bits\": {}, \"rounds\": {}, \"bytes_per_command\": {:.2} }},\n  \"amortization_ratio\": {ratio:.2}\n}}\n",
         Command::WIRE_BYTES,
         batched.commands,
         batched.gen_bytes,

@@ -216,6 +216,31 @@ fn min_max_fold(acc: Option<(f64, f64)>, v: f64) -> Option<(f64, f64)> {
     })
 }
 
+/// Renders the provenance manifest block every `results/BENCH_*.json`
+/// artifact embeds under a `"manifest"` key: the run's core parameters
+/// plus the git commit and a unix timestamp. Unlike the measurements,
+/// the manifest is deliberately environment-dependent — it records *when
+/// and from what source* a number was produced, so two artifacts can be
+/// told apart after the fact.
+pub fn manifest_json(n: usize, t: usize, seed: u64, policy: &str) -> String {
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        "{{ \"n\": {n}, \"t\": {t}, \"seed\": {seed}, \"policy\": \"{policy}\", \
+         \"git_commit\": \"{commit}\", \"timestamp\": {timestamp} }}"
+    )
+}
+
 /// Formats a bit count with engineering suffixes for table readability.
 pub fn fmt_bits(bits: f64) -> String {
     if bits >= 1e9 {
@@ -292,6 +317,17 @@ mod tests {
     #[should_panic(expected = "2x2")]
     fn ascii_chart_rejects_tiny_grid() {
         let _ = AsciiChart::new(1, 5);
+    }
+
+    #[test]
+    fn manifest_embeds_parameters_and_provenance() {
+        let m = manifest_json(7, 2, 11, "round-barrier");
+        assert!(m.contains("\"n\": 7"));
+        assert!(m.contains("\"t\": 2"));
+        assert!(m.contains("\"seed\": 11"));
+        assert!(m.contains("\"policy\": \"round-barrier\""));
+        assert!(m.contains("\"git_commit\": \""));
+        assert!(m.contains("\"timestamp\": "));
     }
 
     #[test]

@@ -22,6 +22,9 @@ use crate::hooks::BroadcastHooks;
 /// global interning table (no formatting, no locking on the hot path).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SlotTags {
+    /// The raw scope itself (`"broadcast"`, `"smr.slot17"`, …), used to
+    /// label telemetry phase spans with their slot/lane identity.
+    pub scope: &'static str,
     pub dispersal: &'static str,
     pub echo: &'static str,
     pub detected: &'static str,
@@ -41,6 +44,7 @@ impl SlotTags {
         let claims = scoped_tag(scope, "diagnosis.claims");
         let trust = scoped_tag(scope, "diagnosis.trust");
         SlotTags {
+            scope: mvbc_metrics::intern_tag(scope),
             dispersal: scoped_tag(scope, "dispersal.symbol"),
             echo: scoped_tag(scope, "echo.symbol"),
             detected,
@@ -121,6 +125,11 @@ pub(crate) fn run_broadcast_generation(
         newly_isolated: Vec::new(),
     };
 
+    // Optional phase spans (dispersal / echo / vote / diagnosis), keyed
+    // by the slot scope. `None` unless the caller's sink was built with
+    // `MetricsSink::with_telemetry` — the default records nothing.
+    let telemetry = ctx.metrics().telemetry();
+
     // The echo set is common knowledge (derived from the shared graph).
     let Some(e_set) = echo_set(cfg, diag) else {
         return no_report(BroadcastGenerationOutcome::SourceUnusable);
@@ -130,6 +139,7 @@ pub(crate) fn run_broadcast_generation(
     // ------------------------------------------------------------------
     // Round 1: dispersal — the source sends coded symbol j to processor j.
     // ------------------------------------------------------------------
+    let span = telemetry.as_ref().map(|t| t.span(me, tags.scope, "dispersal", ctx.vtime()));
     let my_symbols: Option<Vec<Symbol>> = my_part.map(|part| {
         code.encode_value(part)
             .expect("generation part has the configured size")
@@ -156,10 +166,14 @@ pub(crate) fn run_broadcast_generation(
     } else {
         None
     };
+    if let Some(span) = span {
+        span.finish(ctx.vtime());
+    }
 
     // ------------------------------------------------------------------
     // Round 2: echo — echo-set members relay their symbols to everyone.
     // ------------------------------------------------------------------
+    let span = telemetry.as_ref().map(|t| t.span(me, tags.scope, "echo", ctx.vtime()));
     if i_am_echo && participants[me] {
         if let Some(sym) = &own {
             for j in &active {
@@ -189,6 +203,9 @@ pub(crate) fn run_broadcast_generation(
             }
         })
         .collect();
+    if let Some(span) = span {
+        span.finish(ctx.vtime());
+    }
 
     // ------------------------------------------------------------------
     // Checking: consistency of everything this processor holds.
@@ -227,8 +244,12 @@ pub(crate) fn run_broadcast_generation(
             input: (v == me).then_some(detected),
         })
         .collect();
+    let span = telemetry.as_ref().map(|t| t.span(me, tags.scope, "vote", ctx.vtime()));
     let det_flags = bsb.run_batch(ctx, &bsb_det, &det_instances, &mut *hooks);
     let any_detected = det_flags.iter().any(|&d| d);
+    if let Some(span) = span {
+        span.finish(ctx.vtime());
+    }
 
     if !any_detected {
         let value = if me == src {
@@ -243,6 +264,7 @@ pub(crate) fn run_broadcast_generation(
     // ------------------------------------------------------------------
     // Diagnosis stage.
     // ------------------------------------------------------------------
+    let span = telemetry.as_ref().map(|t| t.span(me, tags.scope, "diagnosis", ctx.vtime()));
 
     // (d1) The source broadcasts the full generation data.
     let data_bits_len = code.layout().value_bytes * 8;
@@ -386,6 +408,10 @@ pub(crate) fn run_broadcast_generation(
     newly_isolated.extend(diag.enforce_isolation());
     newly_isolated.sort_unstable();
     newly_isolated.dedup();
+
+    if let Some(span) = span {
+        span.finish(ctx.vtime());
+    }
 
     // Decide on the source's (common) claim.
     let mut value = data_bytes;

@@ -16,6 +16,8 @@ usage:
                  [--latency-model fixed:<T>|jitter:<BASE>:<JIT>|wan:<INTRA>:<INTER>[:<JIT>]]
                  [--topology clique|clusters:<A,B,...>] [--net-seed <N>]
                  [--partition <START>:<HEAL>:<ISLAND>[:drop|delay]] [--max-vtime <T>]
+                 [--report <FILE>]
+  mvbc inspect   <FILE>
   mvbc info      --n <N> --t <T> --l <BYTES>
   mvbc soak      [--runs <N>] [--seed <N>]
 
@@ -49,7 +51,14 @@ flags:
              drop violates the synchronous model — expect degraded slots,
              delay preserves agreement by stretching rounds across the cut)
   --net-seed seed for latency jitter sampling (smr only, default 1)
-  --max-vtime  abort if the virtual clock exceeds this tick budget (smr only)";
+  --max-vtime  abort if the virtual clock exceeds this tick budget (smr only)
+  --report   write a structured RunReport JSON (latency percentiles, phase
+             shares, hot nodes/links, outage windows, per-slot timeline) to
+             FILE; enables telemetry for the run (smr only)
+
+inspect takes a RunReport JSON (from smr --report) or a network trace CSV
+(from consensus --trace) and prints per-slot timelines, per-node activity
+and hot-link rankings.";
 
 /// `Broadcast_Single_Bit` substrate selection (paper §4's seam).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -333,6 +342,13 @@ pub enum Command {
         /// Event-driven network flags (latency model, topology,
         /// partitions, jitter seed, virtual-time budget).
         net: NetSpec,
+        /// Write a telemetry `RunReport` JSON to this path.
+        report: Option<String>,
+    },
+    /// Pretty-print a RunReport JSON or a trace CSV.
+    Inspect {
+        /// The artifact to load.
+        path: String,
     },
     /// Randomized soak: many consensus runs with random parameters,
     /// inputs and adversaries, asserting the paper's properties on each.
@@ -436,7 +452,15 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 net_seed: flags.usize_of("--net-seed")?.map(|s| s as u64),
                 max_vtime: flags.usize_of("--max-vtime")?.map(|v| v as u64),
             },
+            report: flags.value_of("--report").map(String::from),
         });
+    }
+    if sub == "inspect" {
+        let path = argv
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or_else(|| err("inspect expects a file path"))?;
+        return Ok(Command::Inspect { path: path.clone() });
     }
     let n = flags.required_usize("--n")?;
     let t = flags.required_usize("--t")?;
@@ -558,6 +582,7 @@ mod tests {
                 pipeline: 1,
                 round_timeout_secs: None,
                 net: NetSpec::default(),
+                report: None,
             }
         );
         let cmd = parse(&argv(
@@ -655,6 +680,28 @@ mod tests {
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --latency-model bogus")).is_err());
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --topology bogus")).is_err());
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --partition bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_smr_report_flag() {
+        match parse(&argv("smr --n 4 --t 1 --slots 5 --report out.json")).unwrap() {
+            Command::Smr { report, .. } => assert_eq!(report.as_deref(), Some("out.json")),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("smr --n 4 --t 1 --slots 5")).unwrap() {
+            Command::Smr { report, .. } => assert_eq!(report, None),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_inspect() {
+        assert_eq!(
+            parse(&argv("inspect results/report.json")).unwrap(),
+            Command::Inspect { path: "results/report.json".into() }
+        );
+        assert!(parse(&argv("inspect")).is_err());
+        assert!(parse(&argv("inspect --n")).is_err());
     }
 
     #[test]

@@ -10,8 +10,8 @@ use mvbc_netsim::trace::TraceSink;
 use mvbc_netsim::{LinkModel, NetModel, Partition, PartitionBehavior, SchedulingPolicy, Topology};
 use mvbc_metrics::MetricsSink;
 use mvbc_smr::{
-    simulate_smr, synthetic_workloads, EquivocatingPrimary, HonestReplica, SilentPrimary,
-    SmrConfig, SmrHooks,
+    simulate_smr, synthetic_workloads, EquivocatingPrimary, HonestReplica, RunReport,
+    SilentPrimary, SmrConfig, SmrHooks,
 };
 
 use crate::args::{
@@ -52,7 +52,9 @@ pub fn run(cmd: Command) {
             pipeline,
             round_timeout_secs,
             net,
-        } => smr(n, t, slots, batch, batch_bytes, seed, attack, byz, pipeline, round_timeout_secs, net),
+            report,
+        } => smr(n, t, slots, batch, batch_bytes, seed, attack, byz, pipeline, round_timeout_secs, net, report),
+        Command::Inspect { path } => inspect(&path),
         Command::Info { n, t, l } => info(n, t, l),
         Command::Soak { runs, seed } => soak(runs, seed),
     }
@@ -383,6 +385,7 @@ fn smr(
     pipeline: usize,
     round_timeout_secs: Option<u64>,
     net: NetSpec,
+    report_path: Option<String>,
 ) {
     let policy = build_policy(n, &net);
     let mut cfg = match batch_bytes {
@@ -426,8 +429,18 @@ fn smr(
         _ => vec![byz],
     };
 
-    let metrics = MetricsSink::new();
+    // Telemetry (phase spans, latency histograms, link accounting) is
+    // only worth recording when a report will be written.
+    let metrics =
+        if report_path.is_some() { MetricsSink::with_telemetry() } else { MetricsSink::new() };
     let run = simulate_smr(&cfg, workloads, hooks, metrics.clone());
+    if let Some(path) = &report_path {
+        let report = RunReport::build(&cfg, &run, &metrics);
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("report: run report written to {path}"),
+            Err(e) => eprintln!("report: failed to write {path}: {e}"),
+        }
+    }
 
     println!(
         "smr: n = {n}, t = {t}, {slots} slot(s), batch = {} command(s) ({} bytes/slot, D = {} bytes), pipeline depth {}",
@@ -495,6 +508,142 @@ fn smr(
     }
     if r.slots.len() > 8 {
         println!("  ... ({} more slots)", r.slots.len() - 8);
+    }
+}
+
+/// Pretty-prints a `RunReport` JSON (from `smr --report`) or a network
+/// trace CSV (from `consensus --trace`).
+fn inspect(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("inspect: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    if text.trim_start().starts_with("round,from,to") {
+        inspect_trace_csv(path, &text);
+        return;
+    }
+    match RunReport::from_json(&text) {
+        Ok(report) => inspect_report(path, &report),
+        Err(e) => {
+            eprintln!("inspect: {path} is neither a run report nor a trace CSV: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn inspect_report(path: &str, r: &RunReport) {
+    println!(
+        "run report {path}: n = {}, t = {}, {} slot(s), batch = {}, pipeline depth {}, {} policy",
+        r.n, r.t, r.slots, r.batch_commands, r.pipeline, r.policy,
+    );
+    println!(
+        "committed: {} command(s) over {} round(s), final virtual time {} ({} fallback slot(s))",
+        r.committed_commands, r.rounds, r.final_vtime, r.fallback_slots,
+    );
+    println!(
+        "commit vtime (ticks): p50 {} / p90 {} / p99 {} / max {} over {} commit(s)",
+        r.commit_vtime.p50, r.commit_vtime.p90, r.commit_vtime.p99, r.commit_vtime.max,
+        r.commit_vtime.count,
+    );
+    println!(
+        "commit gap   (ticks): p50 {} / p90 {} / p99 {} / max {}",
+        r.commit_gap.p50, r.commit_gap.p90, r.commit_gap.p99, r.commit_gap.max,
+    );
+    if !r.phases.is_empty() {
+        println!("\nphase shares (virtual time):");
+        for p in &r.phases {
+            let bar = "#".repeat((p.share_pct / 2.0).round() as usize);
+            println!("  {:>10}  {:>6.2}%  {:>12} tick(s)  {bar}", p.phase, p.share_pct, p.vtime);
+        }
+    }
+    if !r.timeline.is_empty() {
+        println!("\nper-slot timeline:");
+        println!("  slot  primary  commit_vtime  commands  rounds");
+        for s in &r.timeline {
+            println!(
+                "  {:>4}  {:>7}  {:>12}  {:>8}  {:>6}{}",
+                s.slot, s.primary, s.commit_vtime, s.commands, s.rounds,
+                if s.fallback { "  FELL BACK" } else { "" },
+            );
+        }
+    }
+    if !r.nodes.is_empty() {
+        println!("\ntop nodes by logical bits sent:");
+        println!("  node  messages  logical_bits  payload_bytes");
+        for n in &r.nodes {
+            println!(
+                "  {:>4}  {:>8}  {:>12}  {:>13}",
+                n.node, n.messages, n.logical_bits, n.payload_bytes
+            );
+        }
+    }
+    if !r.links.is_empty() {
+        println!("\nhot links by cumulative delivery delay:");
+        println!("  link     messages  payload_bytes  total_delay  mean_delay");
+        for l in &r.links {
+            println!(
+                "  {:>2}->{:<2}   {:>8}  {:>13}  {:>11}  {:>10.2}",
+                l.from, l.to, l.messages, l.payload_bytes, l.total_delay, l.mean_delay
+            );
+        }
+    }
+    if r.queue_high_water > 0 {
+        println!("\ndelivery-queue high-water mark: {} message(s)", r.queue_high_water);
+    }
+    for o in &r.outages {
+        println!(
+            "outage [{}, {}): {} crossing message(s) {}",
+            o.start,
+            o.heal,
+            o.dropped + o.delayed,
+            if o.behavior == "drop" { "dropped" } else { "delayed until heal" },
+        );
+    }
+}
+
+fn inspect_trace_csv(path: &str, text: &str) {
+    // Aggregate the delivery log (round,from,to,tag,logical_bits,
+    // payload_bytes,vtime) by sender and by link.
+    let mut by_node: std::collections::BTreeMap<usize, (u64, u64, u64)> = Default::default();
+    let mut by_link: std::collections::BTreeMap<(usize, usize), (u64, u64)> = Default::default();
+    let mut rounds = 0u64;
+    let mut deliveries = 0u64;
+    for line in text.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() < 6 {
+            continue;
+        }
+        let (Ok(round), Ok(from), Ok(to), Ok(bits), Ok(bytes)) = (
+            cells[0].parse::<u64>(),
+            cells[1].parse::<usize>(),
+            cells[2].parse::<usize>(),
+            cells[4].parse::<u64>(),
+            cells[5].parse::<u64>(),
+        ) else {
+            continue;
+        };
+        rounds = rounds.max(round + 1);
+        deliveries += 1;
+        let node = by_node.entry(from).or_default();
+        node.0 += 1;
+        node.1 += bits;
+        node.2 += bytes;
+        let link = by_link.entry((from, to)).or_default();
+        link.0 += 1;
+        link.1 += bytes;
+    }
+    println!("trace {path}: {deliveries} delivery(ies) over {rounds} round(s)");
+    println!("\nper-node activity (by sender):");
+    println!("  node  messages  logical_bits  payload_bytes");
+    for (node, (msgs, bits, bytes)) in &by_node {
+        println!("  {node:>4}  {msgs:>8}  {bits:>12}  {bytes:>13}");
+    }
+    let mut links: Vec<_> = by_link.into_iter().collect();
+    links.sort_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
+    println!("\nhot links by messages:");
+    println!("  link     messages  payload_bytes");
+    for ((from, to), (msgs, bytes)) in links.into_iter().take(8) {
+        println!("  {from:>2}->{to:<2}   {msgs:>8}  {bytes:>13}");
     }
 }
 

@@ -40,6 +40,12 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
+pub mod telemetry;
+
+pub use telemetry::{
+    Histogram, LinkStat, Outage, SpanRecord, SpanTimer, Telemetry, TelemetrySnapshot,
+};
+
 /// Identifier of a simulated processor (0-based).
 pub type NodeId = usize;
 
@@ -120,7 +126,7 @@ impl AtomicCounter {
 /// for every practical simulation size (`n <= 64`) each node owns its
 /// shard exclusively and [`MetricsSink::record_send`] never contends
 /// with another node's sends.
-const SHARD_COUNT: usize = 64;
+pub(crate) const SHARD_COUNT: usize = 64;
 
 /// One shard: the counters of the nodes mapped to it. The inner lock is
 /// read-mostly — the steady state (tag already seen) is a shared read
@@ -135,6 +141,11 @@ struct Shard {
 struct Inner {
     shards: Vec<Shard>,
     rounds: AtomicU64,
+    /// Attached telemetry recorder, if any. `None` (the default) keeps
+    /// every instrumentation site a no-op — no histogram or span storage
+    /// exists unless a caller opted in via
+    /// [`MetricsSink::with_telemetry`].
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for Inner {
@@ -142,6 +153,7 @@ impl Default for Inner {
         Inner {
             shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             rounds: AtomicU64::new(0),
+            telemetry: None,
         }
     }
 }
@@ -162,6 +174,26 @@ impl MetricsSink {
     /// Creates an empty sink.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty sink with a [`Telemetry`] recorder attached, so
+    /// instrumentation sites (phase spans, latency histograms, link
+    /// accounting) record instead of no-opping. The recorder travels
+    /// with every clone of the sink — the simulator and all node threads
+    /// see the same one via [`MetricsSink::telemetry`].
+    pub fn with_telemetry() -> Self {
+        MetricsSink {
+            inner: Arc::new(Inner {
+                telemetry: Some(Telemetry::new()),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// The attached telemetry recorder, if any (a cheap `Arc` handle).
+    /// Instrumentation sites gate on this: `None` means record nothing.
+    pub fn telemetry(&self) -> Option<Telemetry> {
+        self.inner.telemetry.clone()
     }
 
     /// Records one sent message. Contention-free across sending nodes.
@@ -320,6 +352,17 @@ impl Snapshot {
         tags.sort();
         tags.dedup();
         tags
+    }
+
+    /// Aggregated counter for one node across all tags.
+    pub fn counter_for_node(&self, node: NodeId) -> Counter {
+        let mut acc = Counter::default();
+        for ((n, _), c) in &self.by_node_tag {
+            if *n == node {
+                acc.absorb(*c);
+            }
+        }
+        acc
     }
 
     /// Aggregated counter for one tag across all nodes.
@@ -545,6 +588,143 @@ mod tests {
         assert_eq!(s.tags(), vec!["merge.me".to_owned()]);
         assert_eq!(s.counter_for_tag("merge.me").messages, 2);
         assert_eq!(s.total_logical_bits(), 3);
+    }
+
+    /// Parses [`Snapshot::to_csv`] output back into `(node, tag) -> Counter`.
+    fn parse_csv(csv: &str) -> BTreeMap<(NodeId, String), Counter> {
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("node,tag,messages,logical_bits,payload_bytes"),
+            "csv header drifted"
+        );
+        lines
+            .map(|line| {
+                let cells: Vec<&str> = line.split(',').collect();
+                assert_eq!(cells.len(), 5, "malformed csv row: {line}");
+                (
+                    (cells[0].parse().unwrap(), cells[1].to_owned()),
+                    Counter {
+                        messages: cells[2].parse().unwrap(),
+                        logical_bits: cells[3].parse().unwrap(),
+                        payload_bytes: cells[4].parse().unwrap(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csv_round_trips_every_counter() {
+        let sink = MetricsSink::new();
+        sink.record_send(2, "z.last", 1, 9);
+        sink.record_send(0, "a.first", 64, 8);
+        sink.record_send(0, "a.first", 64, 8);
+        sink.record_send(1, "a.first", 32, 4);
+        let snap = sink.snapshot();
+        let parsed = parse_csv(&snap.to_csv());
+        assert_eq!(parsed.len(), 3);
+        for ((node, tag), c) in &parsed {
+            let direct = snap.counter_for_tag(tag);
+            assert!(direct.messages >= c.messages);
+            assert_eq!(
+                snap.logical_bits_with_prefix_by_nodes(tag, &[*node]),
+                c.logical_bits,
+                "({node}, {tag}) logical bits lost in csv"
+            );
+        }
+        let total: u64 = parsed.values().map(|c| c.logical_bits).sum();
+        assert_eq!(total, snap.total_logical_bits());
+    }
+
+    #[test]
+    fn delta_snapshot_round_trips_through_csv() {
+        // The delta path produces snapshots that never went through the
+        // sink's shards — their CSV must round-trip identically.
+        let sink = MetricsSink::new();
+        sink.record_send(0, "s.keep", 10, 2);
+        sink.record_send(1, "s.drop", 4, 1);
+        let earlier = sink.snapshot();
+        sink.record_send(0, "s.keep", 6, 1);
+        sink.record_send(2, "s.new", 3, 1);
+        let delta = sink.snapshot().delta(&earlier);
+        let parsed = parse_csv(&delta.to_csv());
+        // Unchanged keys are dropped from the delta and its CSV alike.
+        assert_eq!(
+            parsed.keys().cloned().collect::<Vec<_>>(),
+            vec![(0, "s.keep".to_owned()), (2, "s.new".to_owned())]
+        );
+        assert_eq!(parsed[&(0, "s.keep".to_owned())].logical_bits, 6);
+        assert_eq!(parsed[&(2, "s.new".to_owned())].messages, 1);
+    }
+
+    #[test]
+    fn csv_merges_interned_tag_aliases() {
+        // Two distinct &'static str allocations with equal content must
+        // appear as ONE csv row (the snapshot merges by content).
+        let sink = MetricsSink::new();
+        let a = intern_tag("alias.tag");
+        let b: &'static str = Box::leak(String::from("alias.tag").into_boxed_str());
+        assert!(!std::ptr::eq(a, b));
+        sink.record_send(0, a, 5, 1);
+        sink.record_send(0, b, 7, 2);
+        let parsed = parse_csv(&sink.snapshot().to_csv());
+        assert_eq!(parsed.len(), 1);
+        let c = &parsed[&(0, "alias.tag".to_owned())];
+        assert_eq!((c.messages, c.logical_bits, c.payload_bytes), (2, 12, 3));
+    }
+
+    #[test]
+    fn markdown_rows_match_counter_queries() {
+        let sink = MetricsSink::new();
+        sink.record_send(0, "m.one", 8, 2);
+        sink.record_send(1, "m.one", 8, 2);
+        sink.record_send(1, "m.two", 4, 1);
+        let snap = sink.snapshot();
+        let md = snap.to_markdown();
+        let rows: Vec<&str> = md.lines().collect();
+        assert_eq!(rows[0], "| tag | messages | logical bits | payload bytes |");
+        assert_eq!(rows[1], "|---|---:|---:|---:|");
+        // One row per distinct tag, each matching counter_for_tag.
+        for tag in snap.tags() {
+            let c = snap.counter_for_tag(&tag);
+            let want = format!("| {tag} | {} | {} | {} |", c.messages, c.logical_bits, c.payload_bytes);
+            assert!(md.contains(&want), "missing markdown row {want:?}");
+        }
+        let total_row = format!(
+            "| **total** | {} | {} | — |",
+            snap.total_messages(),
+            snap.total_logical_bits()
+        );
+        assert_eq!(rows.last(), Some(&total_row.as_str()));
+    }
+
+    #[test]
+    fn markdown_round_trips_the_delta_path() {
+        let sink = MetricsSink::new();
+        sink.record_send(0, "d.x", 3, 1);
+        let earlier = sink.snapshot();
+        sink.record_send(0, "d.x", 5, 2);
+        let delta = sink.snapshot().delta(&earlier);
+        let md = delta.to_markdown();
+        assert!(md.contains("| d.x | 1 | 5 | 2 |"));
+        assert!(md.contains("| **total** | 1 | 5 | — |"));
+    }
+
+    #[test]
+    fn plain_sink_has_no_telemetry() {
+        assert!(MetricsSink::new().telemetry().is_none());
+        assert!(MetricsSink::default().telemetry().is_none());
+    }
+
+    #[test]
+    fn telemetry_travels_with_clones() {
+        let sink = MetricsSink::with_telemetry();
+        let clone = sink.clone();
+        clone.telemetry().unwrap().record_value(0, "lat", 42);
+        let snap = sink.telemetry().unwrap().snapshot();
+        assert_eq!(snap.histogram_for_tag("lat").count(), 1);
+        assert_eq!(snap.histogram_for_tag("lat").max(), 42);
     }
 
     #[test]

@@ -575,6 +575,21 @@ pub fn run_simulation_traced<O: Send + 'static>(
                 })
             }
         };
+        // Optional telemetry (attached via `MetricsSink::with_telemetry`):
+        // per-link delivery accounting, partition outage windows, and the
+        // event-queue high-water mark. Purely observational — it adds no
+        // messages and moves no timestamps, so trace digests are
+        // unchanged whether or not a recorder is attached.
+        let telemetry = metrics.telemetry();
+        if let (Some(st), Some(tel)) = (&event_state, &telemetry) {
+            for p in &st.model.partitions {
+                let behavior = match p.behavior {
+                    PartitionBehavior::Drop => "drop",
+                    PartitionBehavior::Delay => "delay",
+                };
+                tel.register_outage(p.start, p.heal, behavior);
+            }
+        }
         while active_count > 0 {
             let mut submissions: Vec<Option<Vec<Outgoing>>> = (0..n).map(|_| None).collect();
             let mut waiting = active_count;
@@ -683,11 +698,14 @@ pub fn run_simulation_traced<O: Send + 'static>(
                                 .sample(st.model.same_cluster(from, out.to), &mut st.rng);
                             let mut base = dispatch;
                             let mut dropped = false;
-                            for p in &st.model.partitions {
+                            for (cut, p) in st.model.partitions.iter().enumerate() {
                                 if p.cuts(dispatch, from, out.to) {
                                     match p.behavior {
                                         PartitionBehavior::Drop => dropped = true,
                                         PartitionBehavior::Delay => base = base.max(p.heal),
+                                    }
+                                    if let Some(tel) = &telemetry {
+                                        tel.record_outage_hit(cut, dropped);
                                     }
                                     break;
                                 }
@@ -704,9 +722,23 @@ pub fn run_simulation_traced<O: Send + 'static>(
                             queue.schedule(at, out);
                         }
                     }
+                    if let Some(tel) = &telemetry {
+                        tel.record_queue_depth(queue.len() as u64);
+                    }
                     let mut round_end: Vec<VirtualTime> = st.clocks.clone();
                     while let Some((at, mut out)) = queue.pop() {
                         out.msg.at = at;
+                        if let Some(tel) = &telemetry {
+                            // Delivery delay: sampled latency plus any
+                            // partition hold and FIFO clamping (clocks
+                            // still hold this round's dispatch times).
+                            tel.record_link(
+                                out.msg.from,
+                                out.to,
+                                out.msg.payload.len() as u64,
+                                at - st.clocks[out.msg.from],
+                            );
+                        }
                         if let Some(trace) = &trace {
                             trace.record(trace::TraceEvent {
                                 round: rounds,
@@ -1276,6 +1308,82 @@ mod tests {
         let (a, b) = (run_once(), run_once());
         assert_eq!(a.outputs, b.outputs, "same seed, same delivery schedule");
         assert_eq!(a.vtime, b.vtime);
+    }
+
+    fn run_with_sink<O: Send + 'static>(
+        cfg: SimConfig,
+        metrics: MetricsSink,
+        mk: impl Fn(usize) -> Logic<O>,
+    ) -> SimResult<O> {
+        let logics = (0..cfg.n).map(&mk).collect();
+        run_simulation(cfg, metrics, logics)
+    }
+
+    #[test]
+    fn telemetry_records_links_and_queue_depth() {
+        let model = NetModel::new(LinkModel::Fixed(50), Topology::Clique);
+        let cfg = SimConfig::new(2).with_policy(SchedulingPolicy::EventDriven(model));
+        let metrics = MetricsSink::with_telemetry();
+        let _ = run_with_sink(cfg, metrics.clone(), ping_pong(3));
+        let snap = metrics.telemetry().unwrap().snapshot();
+        // Each direction carried one 1-byte ping per round at 50 ticks.
+        for key in [(0usize, 1usize), (1, 0)] {
+            let link = snap.links[&key];
+            assert_eq!(link.messages, 3, "link {key:?}");
+            assert_eq!(link.payload_bytes, 3);
+            assert_eq!(link.total_delay, 150);
+            assert!((link.mean_delay() - 50.0).abs() < 1e-9);
+        }
+        // Two in-flight deliveries per round.
+        assert_eq!(snap.queue_high_water, 2);
+        assert!(snap.outages.is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_partition_outage_traffic() {
+        for (behavior, name) in
+            [(PartitionBehavior::Drop, "drop"), (PartitionBehavior::Delay, "delay")]
+        {
+            let model = NetModel::new(LinkModel::Fixed(10), Topology::Clusters(vec![1, 1]))
+                .with_partition(Partition {
+                    start: 0,
+                    heal: 500,
+                    island: vec![1],
+                    behavior,
+                });
+            let cfg = SimConfig::new(2).with_policy(SchedulingPolicy::EventDriven(model));
+            let metrics = MetricsSink::with_telemetry();
+            let _ = run_with_sink(cfg, metrics.clone(), |_| {
+                Box::new(|ctx: &mut NodeCtx| {
+                    ctx.send(1 - ctx.id(), "x", vec![1u8], 8);
+                    let _ = ctx.end_round();
+                }) as Logic<()>
+            });
+            let snap = metrics.telemetry().unwrap().snapshot();
+            assert_eq!(snap.outages.len(), 1);
+            let o = &snap.outages[0];
+            assert_eq!((o.start, o.heal, o.behavior.as_str()), (0, 500, name));
+            // Both crossings of the round hit the cut.
+            if o.behavior == "drop" {
+                assert_eq!((o.dropped, o.delayed), (2, 0));
+                assert!(snap.links.is_empty(), "dropped crossings never deliver");
+            } else {
+                assert_eq!((o.dropped, o.delayed), (0, 2));
+                // Held until the heal: delay = heal + latency - dispatch.
+                assert_eq!(snap.links[&(0, 1)].total_delay, 510);
+            }
+        }
+    }
+
+    #[test]
+    fn plain_sink_records_no_telemetry_under_event_driven() {
+        let model = NetModel::new(LinkModel::Fixed(50), Topology::Clique);
+        let cfg = SimConfig::new(2).with_policy(SchedulingPolicy::EventDriven(model));
+        let metrics = MetricsSink::new();
+        let res = run_with_sink(cfg, metrics.clone(), ping_pong(2));
+        assert_eq!(res.rounds, 2);
+        assert!(res.vtime >= 100, "two 50-tick rounds ran");
+        assert!(metrics.telemetry().is_none());
     }
 
     #[test]

@@ -76,14 +76,20 @@
 mod batch;
 mod log;
 mod primary;
+mod report;
 mod slot;
 mod state_machine;
 
 pub use batch::{decode_batch, encode_batch, synthetic_workloads, BatchBuilder, Command};
 pub use log::{
     run_replicated_log, run_replicated_log_pipelined, simulate_smr, simulate_smr_traced,
-    simulate_smr_with, SmrConfig, SmrConfigError, SmrReport, SmrRun,
+    simulate_smr_with, SmrConfig, SmrConfigError, SmrReport, SmrRun, COMMIT_GAP_TAG,
+    COMMIT_VTIME_TAG,
 };
 pub use primary::{plan_for_slot, primary_for_slot, SlotPlan};
+pub use report::{
+    parse_json, JsonValue, LatencySummary, LinkActivity, NodeActivity, OutageReport, PhaseShare,
+    RunReport, SlotTimeline, RUN_REPORT_SCHEMA, TOP_K,
+};
 pub use slot::{AgreedSlot, EquivocatingPrimary, HonestReplica, SilentPrimary, SlotReport, SmrHooks};
 pub use state_machine::{KvStore, StateMachine};

@@ -20,6 +20,17 @@ use crate::primary::{plan_for_slot, SlotPlan};
 use crate::slot::{AgreedSlot, SlotReport, SmrHooks};
 use crate::state_machine::{KvStore, StateMachine};
 
+/// Histogram tag for per-slot commit times: each replica records the
+/// virtual time at which it committed each slot (so percentiles over this
+/// tag summarize when the log's slots landed).
+pub const COMMIT_VTIME_TAG: &str = "smr.commit.vtime";
+
+/// Histogram tag for per-slot commit latency: the virtual-time gap
+/// between a replica's consecutive commits (the time slot `s` spent being
+/// agreed on, as observed by that replica; under pipelining several slots
+/// can commit at the same tick, so gaps of zero are real).
+pub const COMMIT_GAP_TAG: &str = "smr.commit.gap";
+
 /// Error for invalid replicated-log parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SmrConfigError {
@@ -303,6 +314,8 @@ pub fn run_replicated_log<S: StateMachine>(
     let mut suspects = vec![false; cfg.n];
     let mut slots: Vec<SlotReport> = Vec::with_capacity(cfg.slots);
     let mut last_snap = ctx.metrics().snapshot();
+    let telemetry = ctx.metrics().telemetry();
+    let mut last_commit_vtime = ctx.vtime();
 
     for slot in 0..cfg.slots as u64 {
         if diag.is_isolated(me) {
@@ -322,20 +335,26 @@ pub fn run_replicated_log<S: StateMachine>(
             SlotPlan::Lead(p) => p,
         };
         let bcfg = cfg.broadcast_config(primary);
+        let scope = slot_scope("smr", slot);
+        let span = telemetry.as_ref().map(|t| t.span(me, scope, "propose", ctx.vtime()));
         let proposal: Option<Vec<u8>> =
             (me == primary).then(|| encode_batch(&pending.next_batch(), cfg.batch_capacity()));
         let mut slot_hooks = hooks.slot_hooks(slot, me == primary);
+        if let Some(span) = span {
+            span.finish(ctx.vtime());
+        }
 
         let pre_trust: Vec<bool> = (0..cfg.n).map(|x| diag.trusts(primary, x)).collect();
         let report = run_broadcast_slot(
             ctx,
             &bcfg,
             proposal.as_deref(),
-            slot_scope("smr", slot),
+            scope,
             &mut diag,
             slot_hooks.as_mut(),
             bsb,
         );
+        let span = telemetry.as_ref().map(|t| t.span(me, scope, "commit", ctx.vtime()));
         let snap = ctx.metrics().snapshot();
         let delta = snap.delta(&last_snap);
         last_snap = snap;
@@ -363,6 +382,14 @@ pub fn run_replicated_log<S: StateMachine>(
             }
         }
         state.apply_batch(&committed);
+        if let Some(span) = span {
+            span.finish(ctx.vtime());
+        }
+        if let Some(tel) = &telemetry {
+            tel.record_value(me, COMMIT_VTIME_TAG, ctx.vtime());
+            tel.record_value(me, COMMIT_GAP_TAG, ctx.vtime() - last_commit_vtime);
+        }
+        last_commit_vtime = ctx.vtime();
         slots.push(SlotReport {
             slot,
             primary,
@@ -483,6 +510,8 @@ pub fn run_replicated_log_pipelined<S: StateMachine>(
     let mut attempts: HashMap<u64, u32> = HashMap::new();
     let mut next_slot: u64 = 0;
     let mut stopped = false;
+    let telemetry = ctx.metrics().telemetry();
+    let mut last_commit_vtime = ctx.vtime();
 
     loop {
         // --- Fill the window with proposals under the committed state. ---
@@ -520,9 +549,15 @@ pub fn run_replicated_log_pipelined<S: StateMachine>(
                     let attempt = attempts.entry(slot).or_insert(0);
                     let scope = format!("smr.slot{slot}.a{attempt}");
                     *attempt += 1;
+                    let span = telemetry
+                        .as_ref()
+                        .map(|t| t.span(me, mvbc_metrics::intern_tag(&scope), "propose", ctx.vtime()));
                     let my_batch = (me == primary).then(|| pending.next_batch());
                     let proposal: Option<Vec<u8>> =
                         my_batch.as_ref().map(|b| encode_batch(b, cfg.batch_capacity()));
+                    if let Some(span) = span {
+                        span.finish(ctx.vtime());
+                    }
                     let pre_trust: Vec<bool> = (0..n).map(|x| diag.trusts(primary, x)).collect();
                     let mut slot_hooks = hooks.slot_hooks(slot, me == primary);
                     let mut driver = make_driver();
@@ -618,7 +653,18 @@ pub fn run_replicated_log_pipelined<S: StateMachine>(
                     pending.requeue(batch);
                 }
             }
+            let span = telemetry
+                .as_ref()
+                .map(|t| t.span(me, slot_scope("smr", slot), "commit", ctx.vtime()));
             state.apply_batch(&committed);
+            if let Some(span) = span {
+                span.finish(ctx.vtime());
+            }
+            if let Some(tel) = &telemetry {
+                tel.record_value(me, COMMIT_VTIME_TAG, ctx.vtime());
+                tel.record_value(me, COMMIT_GAP_TAG, ctx.vtime() - last_commit_vtime);
+            }
+            last_commit_vtime = ctx.vtime();
             slots.push(SlotReport {
                 slot,
                 primary: flight.primary,

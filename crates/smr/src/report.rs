@@ -1,0 +1,838 @@
+//! Structured run reports: where a replicated-log run's time went.
+//!
+//! [`RunReport`] condenses a telemetry-instrumented SMR run (a sink built
+//! with [`MetricsSink::with_telemetry`]) into one JSON artifact: commit
+//! latency percentiles, per-phase virtual-time shares, per-node and
+//! per-link top-k tables, queue-depth high-water marks, partition outage
+//! windows, and the per-slot commit timeline. The CLI surfaces it as
+//! `smr --report <path>` and reads it back with `inspect <path>`.
+//!
+//! Everything in the report is derived from the *virtual* clock and
+//! message counters, so under a fixed seed the JSON is byte-identical
+//! across runs and machines — wall-clock span durations stay available on
+//! [`TelemetrySnapshot::spans`](mvbc_metrics::TelemetrySnapshot) but are
+//! deliberately excluded here.
+//!
+//! The workspace has no external JSON dependency, so this module carries
+//! its own renderer and a minimal recursive-descent parser ([`JsonValue`])
+//! for reading reports back.
+
+use std::fmt::Write as _;
+
+use mvbc_metrics::{Histogram, MetricsSink};
+
+use crate::log::{SmrConfig, SmrRun, COMMIT_GAP_TAG, COMMIT_VTIME_TAG};
+
+/// Schema marker embedded in every report.
+pub const RUN_REPORT_SCHEMA: &str = "mvbc.run_report.v1";
+
+/// Rows kept in the per-node and per-link top-k tables.
+pub const TOP_K: usize = 8;
+
+/// Percentile summary of a latency histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram.
+    pub fn of(hist: &Histogram) -> Self {
+        LatencySummary {
+            count: hist.count(),
+            p50: hist.percentile(50.0),
+            p90: hist.percentile(90.0),
+            p99: hist.percentile(99.0),
+            max: hist.max(),
+        }
+    }
+}
+
+/// One protocol phase's share of the run's span time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseShare {
+    /// Phase name (`"propose"`, `"dispersal"`, `"echo"`, `"vote"`,
+    /// `"diagnosis"`, `"commit"`).
+    pub phase: String,
+    /// Total virtual-time ticks spent in this phase, summed over all
+    /// nodes and slots.
+    pub vtime: u64,
+    /// This phase's percentage of all phase time (the shares of a report
+    /// sum to ~100, modulo rounding).
+    pub share_pct: f64,
+}
+
+/// One node's traffic totals (a top-k row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeActivity {
+    /// Node id.
+    pub node: usize,
+    /// Messages sent.
+    pub messages: u64,
+    /// Logical bits sent.
+    pub logical_bits: u64,
+    /// Payload bytes sent.
+    pub payload_bytes: u64,
+}
+
+/// One directed link's delivery totals (a top-k row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkActivity {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload bytes delivered.
+    pub payload_bytes: u64,
+    /// Cumulative delivery delay in ticks.
+    pub total_delay: u64,
+    /// Mean per-message delay in ticks.
+    pub mean_delay: f64,
+}
+
+/// One partition outage window (as reported).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutageReport {
+    /// Virtual time the cut starts.
+    pub start: u64,
+    /// Virtual time the cut heals.
+    pub heal: u64,
+    /// `"drop"` or `"delay"`.
+    pub behavior: String,
+    /// Messages lost to the cut.
+    pub dropped: u64,
+    /// Messages held until the heal.
+    pub delayed: u64,
+}
+
+/// One slot's commit, on the report's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotTimeline {
+    /// Slot index.
+    pub slot: u64,
+    /// Primary that proposed it.
+    pub primary: usize,
+    /// Virtual time it committed (as observed by replica 0).
+    pub commit_vtime: u64,
+    /// Whether it fell back to the empty batch.
+    pub fallback: bool,
+    /// Commands committed.
+    pub commands: u64,
+    /// Synchronous rounds the slot took.
+    pub rounds: u64,
+}
+
+/// The structured artifact of one instrumented replicated-log run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Number of replicas.
+    pub n: usize,
+    /// Fault tolerance.
+    pub t: usize,
+    /// Configured slots.
+    pub slots: usize,
+    /// Batch capacity in commands.
+    pub batch_commands: usize,
+    /// Pipeline depth.
+    pub pipeline: usize,
+    /// Scheduling policy name.
+    pub policy: String,
+    /// Synchronous rounds executed.
+    pub rounds: u64,
+    /// Final virtual time.
+    pub final_vtime: u64,
+    /// Commands committed across the log.
+    pub committed_commands: u64,
+    /// Slots that fell back to the empty batch.
+    pub fallback_slots: u64,
+    /// Percentiles of per-slot commit *times* (when slots landed).
+    pub commit_vtime: LatencySummary,
+    /// Percentiles of per-slot commit *gaps* (inter-commit latency).
+    pub commit_gap: LatencySummary,
+    /// Per-phase virtual-time totals and shares.
+    pub phases: Vec<PhaseShare>,
+    /// Top-k nodes by logical bits sent.
+    pub nodes: Vec<NodeActivity>,
+    /// Top-k links by cumulative delivery delay (event-driven runs only).
+    pub links: Vec<LinkActivity>,
+    /// Largest delivery-queue depth the scheduler observed.
+    pub queue_high_water: u64,
+    /// Partition outage windows.
+    pub outages: Vec<OutageReport>,
+    /// Per-slot commit timeline.
+    pub timeline: Vec<SlotTimeline>,
+}
+
+impl RunReport {
+    /// Builds a report from a finished run and the sink it ran with.
+    ///
+    /// The sink should have been created with
+    /// [`MetricsSink::with_telemetry`]; without a recorder the latency,
+    /// phase and link sections come out empty (counters and the timeline
+    /// still fill in).
+    pub fn build(cfg: &SmrConfig, run: &SmrRun, metrics: &MetricsSink) -> RunReport {
+        let snapshot = metrics.snapshot();
+        let telemetry = metrics.telemetry().map(|t| t.snapshot()).unwrap_or_default();
+
+        let commit_vtime = LatencySummary::of(&telemetry.histogram_for_tag(COMMIT_VTIME_TAG));
+        let commit_gap = LatencySummary::of(&telemetry.histogram_for_tag(COMMIT_GAP_TAG));
+
+        let phase_totals = telemetry.phase_totals();
+        let total_phase_vtime: u64 = phase_totals.values().map(|&(v, _)| v).sum();
+        let phases = phase_totals
+            .iter()
+            .map(|(phase, &(vtime, _))| PhaseShare {
+                phase: phase.clone(),
+                vtime,
+                share_pct: if total_phase_vtime == 0 {
+                    0.0
+                } else {
+                    vtime as f64 * 100.0 / total_phase_vtime as f64
+                },
+            })
+            .collect();
+
+        let mut nodes: Vec<NodeActivity> = (0..cfg.n)
+            .map(|node| {
+                let c = snapshot.counter_for_node(node);
+                NodeActivity {
+                    node,
+                    messages: c.messages,
+                    logical_bits: c.logical_bits,
+                    payload_bytes: c.payload_bytes,
+                }
+            })
+            .collect();
+        nodes.sort_by(|a, b| (b.logical_bits, a.node).cmp(&(a.logical_bits, b.node)));
+        nodes.truncate(TOP_K);
+
+        let mut links: Vec<LinkActivity> = telemetry
+            .links
+            .iter()
+            .map(|(&(from, to), stat)| LinkActivity {
+                from,
+                to,
+                messages: stat.messages,
+                payload_bytes: stat.payload_bytes,
+                total_delay: stat.total_delay,
+                mean_delay: stat.mean_delay(),
+            })
+            .collect();
+        links.sort_by(|a, b| (b.total_delay, a.from, a.to).cmp(&(a.total_delay, b.from, b.to)));
+        links.truncate(TOP_K);
+
+        let report = &run.reports[0];
+        RunReport {
+            n: cfg.n,
+            t: cfg.t,
+            slots: cfg.slots,
+            batch_commands: cfg.batch_capacity(),
+            pipeline: cfg.pipeline.max(1),
+            policy: cfg.policy.name().to_owned(),
+            rounds: run.rounds,
+            final_vtime: run.vtime,
+            committed_commands: report.committed_commands,
+            fallback_slots: report.fallback_slots,
+            commit_vtime,
+            commit_gap,
+            phases,
+            nodes,
+            links,
+            queue_high_water: telemetry.queue_high_water,
+            outages: telemetry
+                .outages
+                .iter()
+                .map(|o| OutageReport {
+                    start: o.start,
+                    heal: o.heal,
+                    behavior: o.behavior.clone(),
+                    dropped: o.dropped,
+                    delayed: o.delayed,
+                })
+                .collect(),
+            timeline: report
+                .slots
+                .iter()
+                .map(|s| SlotTimeline {
+                    slot: s.slot,
+                    primary: s.primary,
+                    commit_vtime: s.commit_vtime,
+                    fallback: s.fallback,
+                    commands: s.committed.len() as u64,
+                    rounds: s.rounds,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the report as JSON. Deterministic: a fixed seed yields a
+    /// byte-identical document (no wall-clock values, no map iteration
+    /// nondeterminism).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{RUN_REPORT_SCHEMA}\",");
+        let _ = writeln!(
+            out,
+            "  \"config\": {{\"n\": {}, \"t\": {}, \"slots\": {}, \"batch_commands\": {}, \"pipeline\": {}, \"policy\": \"{}\"}},",
+            self.n,
+            self.t,
+            self.slots,
+            self.batch_commands,
+            self.pipeline,
+            escape_json(&self.policy)
+        );
+        let _ = writeln!(out, "  \"rounds\": {},", self.rounds);
+        let _ = writeln!(out, "  \"final_vtime\": {},", self.final_vtime);
+        let _ = writeln!(out, "  \"committed_commands\": {},", self.committed_commands);
+        let _ = writeln!(out, "  \"fallback_slots\": {},", self.fallback_slots);
+        let summary = |s: &LatencySummary| {
+            format!(
+                "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                s.count, s.p50, s.p90, s.p99, s.max
+            )
+        };
+        let _ = writeln!(out, "  \"commit_vtime\": {},", summary(&self.commit_vtime));
+        let _ = writeln!(out, "  \"commit_gap\": {},", summary(&self.commit_gap));
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"phase\": \"{}\", \"vtime\": {}, \"share_pct\": {:.4}}}",
+                    escape_json(&p.phase),
+                    p.vtime,
+                    p.share_pct
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"phases\": [{}],", phases.join(", "));
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                format!(
+                    "{{\"node\": {}, \"messages\": {}, \"logical_bits\": {}, \"payload_bytes\": {}}}",
+                    n.node, n.messages, n.logical_bits, n.payload_bytes
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"nodes\": [{}],", nodes.join(", "));
+        let links: Vec<String> = self
+            .links
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"from\": {}, \"to\": {}, \"messages\": {}, \"payload_bytes\": {}, \"total_delay\": {}, \"mean_delay\": {:.2}}}",
+                    l.from, l.to, l.messages, l.payload_bytes, l.total_delay, l.mean_delay
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"links\": [{}],", links.join(", "));
+        let _ = writeln!(out, "  \"queue_high_water\": {},", self.queue_high_water);
+        let outages: Vec<String> = self
+            .outages
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"start\": {}, \"heal\": {}, \"behavior\": \"{}\", \"dropped\": {}, \"delayed\": {}}}",
+                    o.start,
+                    o.heal,
+                    escape_json(&o.behavior),
+                    o.dropped,
+                    o.delayed
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"outages\": [{}],", outages.join(", "));
+        let timeline: Vec<String> = self
+            .timeline
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"slot\": {}, \"primary\": {}, \"commit_vtime\": {}, \"fallback\": {}, \"commands\": {}, \"rounds\": {}}}",
+                    s.slot, s.primary, s.commit_vtime, s.fallback, s.commands, s.rounds
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"timeline\": [{}]", timeline.join(", "));
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a report back from its JSON rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let root = parse_json(text)?;
+        let schema = root.get("schema").and_then(JsonValue::as_str).unwrap_or("");
+        if schema != RUN_REPORT_SCHEMA {
+            return Err(format!("not a run report (schema {schema:?})"));
+        }
+        let config = root.get("config").ok_or("missing config")?;
+        let u = |v: &JsonValue, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let summary = |key: &str| -> Result<LatencySummary, String> {
+            let v = root.get(key).ok_or_else(|| format!("missing {key:?}"))?;
+            Ok(LatencySummary {
+                count: u(v, "count")?,
+                p50: u(v, "p50")?,
+                p90: u(v, "p90")?,
+                p99: u(v, "p99")?,
+                max: u(v, "max")?,
+            })
+        };
+        let arr = |key: &str| -> Result<Vec<JsonValue>, String> {
+            Ok(root
+                .get(key)
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("missing array {key:?}"))?
+                .to_vec())
+        };
+        Ok(RunReport {
+            n: u(config, "n")? as usize,
+            t: u(config, "t")? as usize,
+            slots: u(config, "slots")? as usize,
+            batch_commands: u(config, "batch_commands")? as usize,
+            pipeline: u(config, "pipeline")? as usize,
+            policy: config
+                .get("policy")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_owned(),
+            rounds: u(&root, "rounds")?,
+            final_vtime: u(&root, "final_vtime")?,
+            committed_commands: u(&root, "committed_commands")?,
+            fallback_slots: u(&root, "fallback_slots")?,
+            commit_vtime: summary("commit_vtime")?,
+            commit_gap: summary("commit_gap")?,
+            phases: arr("phases")?
+                .iter()
+                .map(|p| {
+                    Ok(PhaseShare {
+                        phase: p
+                            .get("phase")
+                            .and_then(JsonValue::as_str)
+                            .ok_or("phase name")?
+                            .to_owned(),
+                        vtime: u(p, "vtime")?,
+                        share_pct: p
+                            .get("share_pct")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or("share_pct")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            nodes: arr("nodes")?
+                .iter()
+                .map(|v| {
+                    Ok(NodeActivity {
+                        node: u(v, "node")? as usize,
+                        messages: u(v, "messages")?,
+                        logical_bits: u(v, "logical_bits")?,
+                        payload_bytes: u(v, "payload_bytes")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            links: arr("links")?
+                .iter()
+                .map(|v| {
+                    Ok(LinkActivity {
+                        from: u(v, "from")? as usize,
+                        to: u(v, "to")? as usize,
+                        messages: u(v, "messages")?,
+                        payload_bytes: u(v, "payload_bytes")?,
+                        total_delay: u(v, "total_delay")?,
+                        mean_delay: v
+                            .get("mean_delay")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or("mean_delay")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            queue_high_water: u(&root, "queue_high_water")?,
+            outages: arr("outages")?
+                .iter()
+                .map(|v| {
+                    Ok(OutageReport {
+                        start: u(v, "start")?,
+                        heal: u(v, "heal")?,
+                        behavior: v
+                            .get("behavior")
+                            .and_then(JsonValue::as_str)
+                            .ok_or("behavior")?
+                            .to_owned(),
+                        dropped: u(v, "dropped")?,
+                        delayed: u(v, "delayed")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            timeline: arr("timeline")?
+                .iter()
+                .map(|v| {
+                    Ok(SlotTimeline {
+                        slot: u(v, "slot")?,
+                        primary: u(v, "primary")? as usize,
+                        commit_vtime: u(v, "commit_vtime")?,
+                        fallback: v
+                            .get("fallback")
+                            .and_then(JsonValue::as_bool)
+                            .ok_or("fallback")?,
+                        commands: u(v, "commands")?,
+                        rounds: u(v, "rounds")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        })
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value (the workspace has no external JSON dependency;
+/// this is the minimal reader for run reports and bench artifacts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a byte offset and description for the first syntax error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => {
+                return String::from_utf8(out).map_err(|e| e.to_string());
+            }
+            b'\\' => {
+                let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        let c = char::from_u32(code).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            b => out.push(b),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_scalars_and_nesting() {
+        let v = parse_json(
+            r#"{"a": 1, "b": [true, false, null], "c": {"d": "x\ny", "e": -2.5}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
+        let b = v.get("b").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(b[0].as_bool(), Some(true));
+        assert_eq!(b[2], JsonValue::Null);
+        let c = v.get("c").unwrap();
+        assert_eq!(c.get("d").and_then(JsonValue::as_str), Some("x\ny"));
+        assert_eq!(c.get("e").and_then(JsonValue::as_f64), Some(-2.5));
+        assert_eq!(c.get("e").and_then(JsonValue::as_u64), None);
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let nasty = "a\"b\\c\nd\te";
+        let doc = format!("{{\"k\": \"{}\"}}", escape_json(nasty));
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("k").and_then(JsonValue::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = RunReport {
+            n: 6,
+            t: 1,
+            slots: 6,
+            batch_commands: 2,
+            pipeline: 2,
+            policy: "event-driven".into(),
+            rounds: 120,
+            final_vtime: 70_000,
+            committed_commands: 12,
+            fallback_slots: 0,
+            commit_vtime: LatencySummary { count: 36, p50: 30_000, p90: 60_000, p99: 65_000, max: 70_000 },
+            commit_gap: LatencySummary { count: 36, p50: 4_000, p90: 9_000, p99: 12_000, max: 15_000 },
+            phases: vec![
+                PhaseShare { phase: "dispersal".into(), vtime: 100, share_pct: 25.0 },
+                PhaseShare { phase: "echo".into(), vtime: 300, share_pct: 75.0 },
+            ],
+            nodes: vec![NodeActivity { node: 3, messages: 10, logical_bits: 999, payload_bytes: 4 }],
+            links: vec![LinkActivity {
+                from: 0,
+                to: 5,
+                messages: 7,
+                payload_bytes: 70,
+                total_delay: 7_000,
+                mean_delay: 1000.0,
+            }],
+            queue_high_water: 42,
+            outages: vec![OutageReport {
+                start: 5_000,
+                heal: 60_000,
+                behavior: "delay".into(),
+                dropped: 0,
+                delayed: 9,
+            }],
+            timeline: vec![SlotTimeline {
+                slot: 0,
+                primary: 0,
+                commit_vtime: 9_000,
+                fallback: false,
+                commands: 2,
+                rounds: 24,
+            }],
+        };
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        assert!(RunReport::from_json("{\"schema\": \"other\"}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+}
