@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use mvbc_core::{simulate_consensus, ConsensusConfig, ProtocolHooks};
+use mvbc_metrics::json;
 use mvbc_metrics::{MetricsSink, Snapshot};
 
 /// Deterministic pseudo-random value for workloads.
@@ -231,14 +232,26 @@ pub fn manifest_json(n: usize, t: usize, seed: u64, policy: &str) -> String {
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_owned())
         .unwrap_or_else(|| "unknown".to_owned());
-    let timestamp = std::time::SystemTime::now()
+    let timestamp = wall_clock_timestamp();
+    format!(
+        "{{ \"n\": {n}, \"t\": {t}, \"seed\": {seed}, \"policy\": \"{}\", \
+         \"git_commit\": \"{}\", \"timestamp\": {timestamp} }}",
+        json::escape(policy),
+        json::escape(&commit),
+    )
+}
+
+/// Seconds since the unix epoch — the manifest's provenance stamp. The
+/// one sanctioned wall-clock read in this crate's library (the exp_*
+/// binaries measure wall time on top of it); protocol crates must stay
+/// on the virtual clock, which `mvbc-lint` and the clippy
+/// `disallowed-methods` list both enforce.
+#[allow(clippy::disallowed_methods)]
+fn wall_clock_timestamp() -> u64 {
+    std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
-        .unwrap_or(0);
-    format!(
-        "{{ \"n\": {n}, \"t\": {t}, \"seed\": {seed}, \"policy\": \"{policy}\", \
-         \"git_commit\": \"{commit}\", \"timestamp\": {timestamp} }}"
-    )
+        .unwrap_or(0)
 }
 
 /// Formats a bit count with engineering suffixes for table readability.
@@ -328,6 +341,22 @@ mod tests {
         assert!(m.contains("\"policy\": \"round-barrier\""));
         assert!(m.contains("\"git_commit\": \""));
         assert!(m.contains("\"timestamp\": "));
+    }
+
+    #[test]
+    fn manifest_is_valid_json_via_shared_parser() {
+        // The same hand-rolled parser the RunReport and lint artifacts
+        // use must read the manifest back — no schema drift between the
+        // workspace's JSON producers.
+        let doc = json::parse_json(&manifest_json(7, 2, 11, "event\"driven")).unwrap();
+        assert_eq!(doc.get("n").and_then(json::JsonValue::as_u64), Some(7));
+        assert_eq!(doc.get("seed").and_then(json::JsonValue::as_u64), Some(11));
+        // Escaping routes through the shared helper.
+        assert_eq!(
+            doc.get("policy").and_then(json::JsonValue::as_str),
+            Some("event\"driven")
+        );
+        assert!(doc.get("timestamp").and_then(json::JsonValue::as_u64).is_some());
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! and already relayed it earlier. Hence all honest processors accept the
 //! same *set* of bits and decide identically.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -46,8 +46,11 @@ use parking_lot::Mutex;
 use crate::BsbConfig;
 use mvbc_netsim::{NodeCtx, NodeId};
 
-/// The oracle's ledger of (signer, message) pairs.
-type SignedSet = HashSet<(NodeId, Vec<u8>)>;
+/// The oracle's ledger of (signer, message) pairs. Ordered so no
+/// iteration-order nondeterminism can ever leak out of the oracle
+/// (membership is all the protocol uses, but the determinism rules keep
+/// unordered containers out of protocol state altogether).
+type SignedSet = BTreeSet<(NodeId, Vec<u8>)>;
 
 /// An idealised signature scheme: unforgeable by construction.
 ///
@@ -223,7 +226,7 @@ pub fn run_dolev_strong(
                 // the end of (relative) round r must carry >= r + 1
                 // signatures.
                 let round = ctx.round() - start_round; // completed DS rounds
-                let distinct: HashSet<NodeId> = signers.iter().copied().collect();
+                let distinct: BTreeSet<NodeId> = signers.iter().copied().collect();
                 let valid = signers.first() == Some(&source)
                     && distinct.len() == signers.len()
                     && signers.len() as u64 >= round.min(t as u64 + 1)
@@ -398,7 +401,7 @@ pub fn run_ds_batch(
                     }
                     let source = instances[i].source;
                     let completed = ctx.round() - start_round;
-                    let distinct: HashSet<NodeId> = signers.iter().copied().collect();
+                    let distinct: BTreeSet<NodeId> = signers.iter().copied().collect();
                     let valid = signers.first() == Some(&source)
                         && distinct.len() == signers.len()
                         && signers.len() as u64 >= completed.min(t as u64 + 1)

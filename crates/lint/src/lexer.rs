@@ -1,0 +1,405 @@
+//! A hand-rolled Rust source lexer: just enough tokenization for the
+//! rule engine, with no external dependencies.
+//!
+//! The lexer's one job is to separate *code* from *non-code* so rules
+//! never fire on a forbidden name inside a string literal or a comment,
+//! and so comments (suppressions, `SAFETY:` notes) can be collected with
+//! their line numbers. It understands line and nested block comments,
+//! plain/byte/raw string literals, character literals vs lifetimes, and
+//! numeric literals; everything else becomes single-character
+//! punctuation tokens.
+//!
+//! It deliberately does not build a syntax tree: rules work on the flat
+//! token stream with explicit brace-depth tracking, which is robust to
+//! any parseable input and keeps the scanner a few hundred lines.
+
+/// One token of code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+/// Token kinds. String literals keep their (unprocessed) contents so
+/// rules like the wedge-panic check can inspect format strings; they are
+/// still opaque to identifier matching, so a forbidden name inside a
+/// string never trips a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// A string literal (plain, byte, or raw); carries the inner text
+    /// exactly as written (escapes not processed).
+    Str(String),
+    /// A character or byte literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(i) if i == s)
+    }
+
+    /// The string literal contents, if this token is a string.
+    pub fn str_content(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One comment, line or block (block comments report their first line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Text after the comment marker, trimmed.
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes one Rust source file. Never fails: unrecognized bytes become
+/// punctuation tokens, unterminated literals run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances past `n` characters, counting newlines.
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' | ' ' | '\t' | '\r' => advance!(1),
+            '/' if next == Some('/') => {
+                let start_line = line;
+                let mut j = i + 2;
+                // Swallow additional comment markers (`///`, `//!`).
+                while chars.get(j) == Some(&'/') || chars.get(j) == Some(&'!') {
+                    j += 1;
+                }
+                let text_start = j;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[text_start..j].iter().collect();
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: text.trim().to_owned(),
+                });
+                advance!(j - i);
+            }
+            '/' if next == Some('*') => {
+                let start_line = line;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = (j.saturating_sub(2)).max(i + 2);
+                let text: String = chars[i + 2..end.min(chars.len())].iter().collect();
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: text.trim().to_owned(),
+                });
+                advance!(j - i);
+            }
+            '"' => {
+                let tok_line = line;
+                let len = plain_string_len(&chars[i..]);
+                let inner: String =
+                    chars[i + 1..(i + len).saturating_sub(1).max(i + 1)].iter().collect();
+                out.toks.push(Tok { line: tok_line, kind: TokKind::Str(inner) });
+                advance!(len);
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let tok_line = line;
+                if is_lifetime(&chars[i..]) {
+                    let mut j = i + 1;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    out.toks.push(Tok { line: tok_line, kind: TokKind::Lifetime });
+                    advance!(j - i);
+                } else {
+                    let len = char_literal_len(&chars[i..]);
+                    out.toks.push(Tok { line: tok_line, kind: TokKind::Char });
+                    advance!(len);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                let mut j = i + 1;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.'
+                        && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        // Only consume '.' when a digit follows, so
+                        // `1.max(2)` stays Num('1') '.' Ident(max).
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok { line: tok_line, kind: TokKind::Num });
+                advance!(j - i);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let tok_line = line;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                // Raw / byte string prefixes: r", r#", b", br", rb is not
+                // a thing; b'..' byte char.
+                let after = chars.get(j).copied();
+                let is_raw_prefix = matches!(word.as_str(), "r" | "br")
+                    && matches!(after, Some('"') | Some('#'));
+                let is_byte_str = word == "b" && after == Some('"');
+                let is_byte_char = word == "b" && after == Some('\'');
+                if is_raw_prefix {
+                    let (len, hashes) = raw_string_len(&chars[j..]);
+                    if len > 0 {
+                        let lo = j + hashes + 1;
+                        let hi = (j + len).saturating_sub(hashes + 1).max(lo);
+                        let inner: String = chars[lo..hi.min(chars.len())].iter().collect();
+                        out.toks.push(Tok { line: tok_line, kind: TokKind::Str(inner) });
+                        advance!((j - i) + len);
+                        continue;
+                    }
+                }
+                if is_byte_str {
+                    let len = plain_string_len(&chars[j..]);
+                    let inner: String =
+                        chars[j + 1..(j + len).saturating_sub(1).max(j + 1)].iter().collect();
+                    out.toks.push(Tok { line: tok_line, kind: TokKind::Str(inner) });
+                    advance!((j - i) + len);
+                    continue;
+                }
+                if is_byte_char {
+                    let len = char_literal_len(&chars[j..]);
+                    out.toks.push(Tok { line: tok_line, kind: TokKind::Char });
+                    advance!((j - i) + len);
+                    continue;
+                }
+                out.toks.push(Tok { line: tok_line, kind: TokKind::Ident(word) });
+                advance!(j - i);
+            }
+            other => {
+                out.toks.push(Tok { line, kind: TokKind::Punct(other) });
+                advance!(1);
+            }
+        }
+    }
+    out
+}
+
+/// Length (in chars, including quotes) of a `"..."` literal starting at
+/// `s[0] == '"'`. Unterminated strings run to the end.
+fn plain_string_len(s: &[char]) -> usize {
+    let mut j = 1usize;
+    while j < s.len() {
+        match s[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    s.len()
+}
+
+/// Length of a raw string starting at `s[0]` being `#` or `"` (the `r` /
+/// `br` prefix has been consumed), plus the hash count. Returns (0, 0)
+/// when `s` is not a raw string opener.
+fn raw_string_len(s: &[char]) -> (usize, usize) {
+    let mut hashes = 0usize;
+    while s.get(hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    if s.get(hashes) != Some(&'"') {
+        return (0, 0);
+    }
+    let mut j = hashes + 1;
+    while j < s.len() {
+        if s[j] == '"' {
+            let mut closing = 0usize;
+            while closing < hashes && s.get(j + 1 + closing) == Some(&'#') {
+                closing += 1;
+            }
+            if closing == hashes {
+                return (j + 1 + hashes, hashes);
+            }
+        }
+        j += 1;
+    }
+    (s.len(), hashes)
+}
+
+/// Whether `'`-prefixed input is a lifetime rather than a char literal.
+fn is_lifetime(s: &[char]) -> bool {
+    let Some(&first) = s.get(1) else { return false };
+    if !(first.is_alphabetic() || first == '_') {
+        return false;
+    }
+    // 'a' is a char literal; 'a is a lifetime; 'abc can only be a
+    // lifetime (multi-char literals don't exist).
+    let mut j = 2usize;
+    while j < s.len() && (s[j].is_alphanumeric() || s[j] == '_') {
+        j += 1;
+    }
+    s.get(j) != Some(&'\'') || j > 2
+}
+
+/// Length (in chars, including quotes) of a `'x'` literal starting at
+/// `s[0] == '\''`.
+fn char_literal_len(s: &[char]) -> usize {
+    let mut j = 1usize;
+    while j < s.len() {
+        match s[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("fn main() { x += 1; }");
+        assert_eq!(idents("fn main() { x += 1; }"), ["fn", "main", "x"]);
+        assert!(l.toks.iter().any(|t| t.is_punct('{')));
+        assert!(l.toks.iter().any(|t| matches!(t.kind, TokKind::Num)));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "Instant::now() inside";"#), ["let", "s"]);
+        assert_eq!(idents(r#"let s = r"raw HashMap";"#), ["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"hash "quoted" set"#;"##), ["let", "s"]);
+        assert_eq!(idents(r#"let b = b"bytes";"#), ["let", "b"]);
+    }
+
+    #[test]
+    fn string_contents_are_retained() {
+        let l = lex(r##"panic!("wedged at round {r}"); let raw = r#"a "b" c"#;"##);
+        let strs: Vec<&str> = l.toks.iter().filter_map(|t| t.str_content()).collect();
+        assert_eq!(strs, ["wedged at round {r}", r#"a "b" c"#]);
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let l = lex("// SAFETY: fine\nunsafe { x } /* block\ncomment */ y");
+        assert_eq!(idents("// SAFETY: fine\nunsafe { x }"), ["unsafe", "x"]);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].text, "SAFETY: fine");
+        assert!(l.comments[1].text.contains("block"));
+        // The unsafe token carries the line after the comment.
+        assert_eq!(l.toks[0].line, 2);
+    }
+
+    #[test]
+    fn doc_comments_strip_markers() {
+        let l = lex("/// doc line\n//! inner doc\nfn f() {}");
+        assert_eq!(l.comments[0].text, "doc line");
+        assert_eq!(l.comments[1].text, "inner doc");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numeric_method_calls_keep_the_dot() {
+        // `1.max(2)` must not swallow `.max` into the number.
+        assert_eq!(idents("let x = 1.max(2) + 1.5;"), ["let", "x", "max"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), ["fn", "f"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

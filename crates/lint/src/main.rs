@@ -1,0 +1,108 @@
+//! `mvbc-lint` binary: scan the workspace and report.
+//!
+//! ```text
+//! mvbc-lint [--check] [--json] [--stats] [--root DIR] [--manifest FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage / IO / manifest
+//! error. `--check` is the (default) scan mode, accepted explicitly so
+//! CI invocations read as intent. `--json` emits the `mvbc.lint.v1`
+//! document instead of human diagnostics; `--stats` adds per-crate
+//! counts to either form.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mvbc_lint::{load_manifest, scan_workspace, Manifest};
+
+struct Args {
+    json: bool,
+    stats: bool,
+    root: PathBuf,
+    manifest: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        stats: false,
+        root: PathBuf::from("."),
+        manifest: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--json" => args.json = true,
+            "--stats" => args.stats = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--manifest" => {
+                args.manifest = Some(PathBuf::from(it.next().ok_or("--manifest needs a file")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: mvbc-lint [--check] [--json] [--stats] [--root DIR] \
+                     [--manifest FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let manifest = match &args.manifest {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Manifest::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => load_manifest(&args.root)?,
+    };
+    let report = scan_workspace(&args.root, &manifest)?;
+
+    if args.json {
+        println!("{}", report.to_json(args.stats));
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        if args.stats {
+            print!("{}", report.stats_table());
+        }
+        let files: u64 = report.stats.iter().map(|(_, s)| s.files).sum();
+        if report.clean() {
+            println!("mvbc-lint: clean ({files} files scanned)");
+        } else {
+            println!(
+                "mvbc-lint: {} violation(s) across {files} files",
+                report.diagnostics.len()
+            );
+        }
+    }
+    Ok(report.clean())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mvbc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("mvbc-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

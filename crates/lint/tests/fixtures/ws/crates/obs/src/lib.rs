@@ -1,0 +1,3 @@
+//! Observer-crate stub.
+
+#![forbid(unsafe_code)]

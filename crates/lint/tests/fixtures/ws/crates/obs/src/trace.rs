@@ -1,0 +1,9 @@
+//! Seeds exactly one `trace.hash_iter` violation: iterating a
+//! positively-bound unordered container straight into emitted output,
+//! with no ordered re-keying in the loop body.
+
+pub fn dump(events: HashMap<u64, String>, out: &mut Vec<String>) {
+    for (seq, event) in events.iter() {
+        out.push(format!("{seq}: {event}"));
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeds the crate-level unsafe rules: a documented unsafe block in a
+//! crate with a zero budget (`unsafe.budget`) whose lib.rs also lacks
+//! `#![forbid(unsafe_code)]` (`unsafe.missing_forbid`).
+
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: fixture only; callers pass a valid, aligned, readable
+    // pointer.
+    unsafe { *p }
+}

@@ -1,0 +1,12 @@
+//! Seeds the two suppression meta-rules: a justification-less allow
+//! (which therefore does NOT silence the underlying finding) and an
+//! allow naming a rule that does not exist.
+
+// mvbc-lint: allow(determinism.hash_state)
+pub fn not_actually_suppressed() -> usize {
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    m.len()
+}
+
+// mvbc-lint: allow(no.such.rule): a justification cannot save an unknown rule
+pub fn unknown() {}

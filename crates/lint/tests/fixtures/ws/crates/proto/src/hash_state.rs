@@ -1,0 +1,9 @@
+//! Seeds exactly one `determinism.hash_state` violation. The `use`
+//! line is exempt; the type annotation is the finding.
+
+use std::collections::HashMap;
+
+pub fn state_size() -> usize {
+    let m: HashMap<u32, u32> = Default::default();
+    m.len()
+}

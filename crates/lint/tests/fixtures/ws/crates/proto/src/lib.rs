@@ -1,0 +1,4 @@
+//! Zone-crate stub: carries the forbid attribute a zero-budget crate
+//! must have, and nothing else.
+
+#![forbid(unsafe_code)]

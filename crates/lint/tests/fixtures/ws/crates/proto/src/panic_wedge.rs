@@ -1,0 +1,6 @@
+//! Seeds exactly one `panic.wedge_context` violation: a wedge report
+//! that names none of round / node / vtime.
+
+pub fn give_up() -> ! {
+    panic!("wedged: protocol gave up");
+}

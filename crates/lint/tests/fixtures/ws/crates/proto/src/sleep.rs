@@ -1,0 +1,5 @@
+//! Seeds exactly one `determinism.sleep` violation.
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,6 @@
+//! Seeds exactly one `determinism.unseeded_rng` violation.
+
+pub fn coin_flip() -> bool {
+    let mut rng = thread_rng();
+    rng.gen()
+}

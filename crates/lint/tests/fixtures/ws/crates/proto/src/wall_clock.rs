@@ -1,0 +1,6 @@
+//! Seeds exactly one `determinism.wall_clock` violation.
+
+pub fn elapsed_nanos() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,7 @@
+//! Seeds exactly one `unsafe.missing_safety` violation: the crate has
+//! budget for one unsafe block, but the block lacks a `// SAFETY:`
+//! comment.
+
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -40,6 +40,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
+pub mod json;
 pub mod telemetry;
 
 pub use telemetry::{

@@ -386,6 +386,10 @@ impl Telemetry {
     /// Starts a phase span for `node` at virtual time `vstart`; the wall
     /// clock starts now. Use interned strings ([`crate::intern_tag`]) for
     /// `scope`/`phase` built at runtime.
+    // This is the workspace's sanctioned wall-clock seam (see lint.toml
+    // [determinism] allow_files); span timings are observability-only
+    // and never feed anything digest-pinned.
+    #[allow(clippy::disallowed_methods)]
     pub fn span(
         &self,
         node: NodeId,
@@ -475,10 +479,17 @@ impl Telemetry {
             (a.vstart, a.node, &a.scope, &a.phase, a.vend)
                 .cmp(&(b.vstart, b.node, &b.scope, &b.phase, b.vend))
         });
+        // Explicitly re-key the coordinator's hash map into a BTreeMap so
+        // everything downstream (RunReport JSON, inspect tables) iterates
+        // in (from, to) order.
+        let mut links: BTreeMap<(NodeId, NodeId), LinkStat> = BTreeMap::new();
+        for (&key, &stat) in self.inner.links.lock().iter() {
+            links.insert(key, stat);
+        }
         TelemetrySnapshot {
             histograms,
             spans,
-            links: self.inner.links.lock().iter().map(|(&k, &v)| (k, v)).collect(),
+            links,
             queue_high_water: self.inner.queue_high_water.load(Ordering::Relaxed),
             outages: self.inner.outages.lock().clone(),
         }

@@ -1026,6 +1026,9 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "simulation wedged in round 2: node(s) [1] never submitted")]
+    // The stall is the point of the test: a real thread must out-sleep
+    // the wedge timeout. Exempt from the clippy determinism mirror.
+    #[allow(clippy::disallowed_methods)]
     fn wedge_panic_names_missing_nodes_and_round() {
         // Node 1 completes round 1 and then stalls (sleeps past the
         // timeout before finishing); node 0 keeps going. The coordinator

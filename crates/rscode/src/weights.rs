@@ -123,6 +123,7 @@ struct Key {
     positions: Box<[usize]>,
 }
 
+// mvbc-lint: allow(determinism.hash_state): keyed-access-only memo cache; never iterated, so its order is unobservable and cannot reach a trace or report
 type CacheMap = HashMap<Key, Arc<dyn Any + Send + Sync>>;
 
 /// Entries are small (O(nk) field elements); the cap only guards against
@@ -131,6 +132,7 @@ const CACHE_CAP: usize = 1 << 14;
 
 fn cache() -> &'static RwLock<CacheMap> {
     static CACHE: OnceLock<RwLock<CacheMap>> = OnceLock::new();
+    // mvbc-lint: allow(determinism.hash_state): same keyed-access-only cache as CacheMap above
     CACHE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 

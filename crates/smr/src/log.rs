@@ -1,7 +1,7 @@
 //! The replicated-log engine: many broadcast slots in one simulation,
 //! sequentially or pipelined through a window of concurrent slots.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -506,8 +506,12 @@ pub fn run_replicated_log_pipelined<S: StateMachine>(
     let mut restarts: u64 = 0;
     let mut mux: LaneMux<(BroadcastReport, DiagGraph)> = LaneMux::new();
     let mut flights: BTreeMap<u64, Flight> = BTreeMap::new();
-    let mut lane_slots: HashMap<LaneId, u64> = HashMap::new();
-    let mut attempts: HashMap<u64, u32> = HashMap::new();
+    // Ordered maps: this is protocol state on the commit path, and the
+    // determinism rules (`mvbc-lint` hash_state) keep unordered
+    // containers out of it even when, as here, they are only ever
+    // accessed by key.
+    let mut lane_slots: BTreeMap<LaneId, u64> = BTreeMap::new();
+    let mut attempts: BTreeMap<u64, u32> = BTreeMap::new();
     let mut next_slot: u64 = 0;
     let mut stopped = false;
     let telemetry = ctx.metrics().telemetry();
