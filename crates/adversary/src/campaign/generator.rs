@@ -1,0 +1,290 @@
+//! Bounded-random, model-preserving scenario generation.
+//!
+//! [`ScenarioGenerator`] deterministically expands one campaign seed
+//! into a stream of [`Scenario`]s. Every draw stays *inside* the
+//! error-free synchronous model — at most `t` corrupted replicas, delay
+//! (never drop) partitions — so the paper's guarantees apply to each
+//! one and any invariant violation the campaign runner finds is a real
+//! protocol bug, not an artefact of an impossible environment.
+//!
+//! Three campaign styles are drawn in rotation with plain independent
+//! scenarios: *slow-compromise ramps* (corruptions switching on one
+//! after another as the log progresses), *colluding frame groups*
+//! (several replicas splitting a schedule of framing accusations across
+//! slots, the Lemma 4 attack surface), and *eclipse* draws (a delay
+//! partition isolating a single replica over the netsim topology).
+
+use super::scenario::{Behavior, Corruption, LinkPlan, NetPlan, PartitionPlan, Scenario};
+
+/// The deterministic xorshift64* stream used across the workspace.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // xorshift64* has a single fixed point at zero; nudge it off.
+        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform draw in `[lo, hi]`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `percent`/100.
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// A seeded stream of bounded-random campaign scenarios.
+#[derive(Debug, Clone)]
+pub struct ScenarioGenerator {
+    seed: u64,
+    rng: Rng,
+    index: u64,
+}
+
+/// `(n, t)` pairs the generator draws from (all satisfy `t < n/3`).
+const SYSTEM_SIZES: [(usize, usize); 3] = [(4, 1), (7, 2), (10, 3)];
+
+impl ScenarioGenerator {
+    /// A generator whose draw sequence is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        ScenarioGenerator { seed, rng: Rng::new(seed), index: 0 }
+    }
+
+    /// Draws the next scenario in the stream.
+    pub fn next_scenario(&mut self) -> Scenario {
+        let (n, t) = SYSTEM_SIZES[self.rng.below(SYSTEM_SIZES.len() as u64) as usize];
+        let slots = self.rng.range(6, 15) as usize;
+        let batch = self.rng.range(1, 4) as usize;
+        let pipeline = [1usize, 2, 4][self.rng.below(3) as usize];
+
+        let f = self.rng.range(1, t as u64) as usize;
+        let corrupted = self.pick_replicas(n, f);
+
+        let style = self.rng.below(4);
+        let corruptions = match style {
+            // Slow-compromise ramp: corruptions switch on one after
+            // another, staggered across the log.
+            1 => self.ramp(&corrupted, n, slots),
+            // Colluding frame group: the corrupted set splits a framing
+            // schedule across distinct slots.
+            2 => self.frame_group(&corrupted, slots),
+            // Independent draws (styles 0 and 3 — plain mixes dominate).
+            _ => corrupted
+                .iter()
+                .map(|&r| self.independent(r, n, slots))
+                .collect(),
+        };
+
+        let net = if self.rng.chance(50) { Some(self.net_plan(n)) } else { None };
+
+        let scenario = Scenario {
+            name: format!("gen-{:016x}-{}", self.seed, self.index),
+            seed: self.rng.next_u64(),
+            n,
+            t,
+            slots,
+            batch,
+            pipeline,
+            max_vtime: None,
+            net,
+            corruptions,
+        };
+        self.index += 1;
+        debug_assert!(scenario.validate().is_ok() && scenario.is_model_preserving());
+        scenario
+    }
+
+    /// `f` distinct replica ids out of `0..n`.
+    fn pick_replicas(&mut self, n: usize, f: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..n).collect();
+        // Partial Fisher-Yates: the first f entries are the draw.
+        for i in 0..f {
+            let j = i + self.rng.below((n - i) as u64) as usize;
+            ids.swap(i, j);
+        }
+        ids.truncate(f);
+        ids.sort_unstable();
+        ids
+    }
+
+    /// A random behaviour (frame schedules restricted to `window`).
+    fn behavior(&mut self, n: usize, window: (u64, u64)) -> Behavior {
+        match self.rng.below(6) {
+            0 => Behavior::Equivocate,
+            1 => Behavior::SilentLeader,
+            2 => Behavior::LyingDiagnosis,
+            3 => Behavior::LyingEcho { step: self.rng.range(1, n as u64 - 1) as usize },
+            4 => Behavior::SilentEcho,
+            _ => {
+                let (lo, hi) = window;
+                let mut slots = vec![self.rng.range(lo, hi - 1)];
+                if self.rng.chance(40) {
+                    slots.push(self.rng.range(lo, hi - 1));
+                    slots.sort_unstable();
+                    slots.dedup();
+                }
+                Behavior::Frame { slots }
+            }
+        }
+    }
+
+    /// One independently-drawn corruption with a random window.
+    fn independent(&mut self, replica: usize, n: usize, slots: usize) -> Corruption {
+        let from_slot = self.rng.below(slots as u64);
+        let until_slot = if self.rng.chance(40) {
+            Some(self.rng.range(from_slot + 1, slots as u64))
+        } else {
+            None
+        };
+        let window = (from_slot, until_slot.unwrap_or(slots as u64));
+        Corruption { replica, from_slot, until_slot, behavior: self.behavior(n, window) }
+    }
+
+    /// Slow-compromise ramp: corrupted replicas switch on in order,
+    /// each `stride` slots after the previous one, and stay corrupted.
+    fn ramp(&mut self, corrupted: &[usize], n: usize, slots: usize) -> Vec<Corruption> {
+        let stride = (slots / (corrupted.len() + 1)).max(1) as u64;
+        corrupted
+            .iter()
+            .enumerate()
+            .map(|(k, &replica)| {
+                let from_slot = (k as u64 + 1) * stride;
+                Corruption {
+                    replica,
+                    from_slot,
+                    until_slot: None,
+                    behavior: self.behavior(n, (from_slot, slots as u64)),
+                }
+            })
+            .collect()
+    }
+
+    /// Colluding frame group: the group splits distinct accusation
+    /// slots among its members (each frame burns one accuser edge, so
+    /// the group spends at most `f(t+1)` of the `t(t+2)` budget).
+    fn frame_group(&mut self, corrupted: &[usize], slots: usize) -> Vec<Corruption> {
+        let mut schedule: Vec<u64> = (0..slots as u64).collect();
+        for i in 0..schedule.len() {
+            let j = i + self.rng.below((schedule.len() - i) as u64) as usize;
+            schedule.swap(i, j);
+        }
+        corrupted
+            .iter()
+            .enumerate()
+            .map(|(k, &replica)| Corruption {
+                replica,
+                from_slot: 0,
+                until_slot: None,
+                behavior: Behavior::Frame { slots: vec![schedule[k % schedule.len()]] },
+            })
+            .collect()
+    }
+
+    /// A model-preserving network plan: random link model, optional
+    /// clusters, delay-only partitions (often a single-node eclipse).
+    fn net_plan(&mut self, n: usize) -> NetPlan {
+        let clusters = if self.rng.chance(40) && n >= 4 {
+            let first = self.rng.range(1, n as u64 - 1) as usize;
+            vec![first, n - first]
+        } else {
+            Vec::new()
+        };
+        let link = if !clusters.is_empty() && self.rng.chance(50) {
+            LinkPlan::Wan {
+                intra: self.rng.range(1, 3),
+                inter: self.rng.range(5, 20),
+                jitter: self.rng.range(0, 4),
+            }
+        } else if self.rng.chance(50) {
+            LinkPlan::Jitter { base: self.rng.range(1, 3), jitter: self.rng.range(1, 6) }
+        } else {
+            LinkPlan::Fixed(self.rng.range(1, 5))
+        };
+        let mut partitions = Vec::new();
+        for _ in 0..self.rng.below(3) {
+            let start = self.rng.below(300);
+            let heal = start + self.rng.range(10, 200);
+            // 70% eclipse (one suppressed replica), else a small island.
+            let island = if self.rng.chance(70) {
+                vec![self.rng.below(n as u64) as usize]
+            } else {
+                self.pick_replicas(n, 2)
+            };
+            partitions.push(PartitionPlan { start, heal, island, drop: false });
+        }
+        NetPlan { link, clusters, partitions, net_seed: self.rng.next_u64() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = ScenarioGenerator::new(42);
+        let mut b = ScenarioGenerator::new(42);
+        for _ in 0..20 {
+            assert_eq!(a.next_scenario(), b.next_scenario());
+        }
+        let mut c = ScenarioGenerator::new(43);
+        assert_ne!(a.next_scenario(), c.next_scenario());
+    }
+
+    #[test]
+    fn every_draw_is_valid_and_model_preserving() {
+        let mut g = ScenarioGenerator::new(7);
+        for _ in 0..200 {
+            let s = g.next_scenario();
+            s.validate().unwrap_or_else(|e| panic!("invalid draw {}: {e}", s.name));
+            assert!(s.is_model_preserving(), "{} leaves the model", s.name);
+            assert!(!s.corruptions.is_empty(), "{} has no adversary", s.name);
+        }
+    }
+
+    #[test]
+    fn draws_cover_the_behaviour_catalogue() {
+        let mut g = ScenarioGenerator::new(11);
+        let mut kinds = std::collections::BTreeSet::new();
+        let mut saw_net = false;
+        let mut saw_eclipse = false;
+        for _ in 0..300 {
+            let s = g.next_scenario();
+            for c in &s.corruptions {
+                kinds.insert(c.behavior.kind());
+            }
+            if let Some(net) = &s.net {
+                saw_net = true;
+                saw_eclipse |= net.partitions.iter().any(|p| p.island.len() == 1);
+            }
+        }
+        assert_eq!(kinds.len(), 6, "all six behaviours drawn: {kinds:?}");
+        assert!(saw_net && saw_eclipse);
+    }
+
+    #[test]
+    fn round_trip_survives_generation() {
+        let mut g = ScenarioGenerator::new(3);
+        for _ in 0..50 {
+            let s = g.next_scenario();
+            let back = Scenario::from_json(&s.to_json()).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod bsb_attacks;
+pub mod campaign;
 mod corrupt;
 mod liars;
 mod random;

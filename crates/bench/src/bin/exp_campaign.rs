@@ -1,0 +1,131 @@
+//! Adversary-campaign throughput experiment: how many machine-checked
+//! campaign scenarios per second the harness sustains, and what the
+//! randomized gauntlet costs in the worst case.
+//!
+//! Draws a fixed batch of bounded-random, model-preserving scenarios
+//! from the seeded campaign generator (`mvbc_adversary::campaign`),
+//! executes each through the replicated-log engine under the
+//! event-driven netsim, and machine-checks agreement, validity, prefix
+//! consistency, sequential equivalence, isolation safety and the
+//! `t(t+2)` dispute budget on every draw. Reports scenarios/second, the
+//! drawn behaviour mix, and the worst per-slot commit virtual time seen
+//! anywhere in the campaign.
+//!
+//! Writes `results/BENCH_campaign.json` (schema `mvbc.campaign.v1`) and
+//! fails loudly on any invariant violation — a failing scenario's JSON
+//! is emitted under `results/` for one-command replay via
+//! `mvbc smr soak --scenario <file>`.
+//!
+//! ```sh
+//! cargo run --release -p mvbc-bench --bin exp_campaign [-- --fast]
+//! ```
+//!
+//! `--fast` (the CI perf-smoke mode) trims the scenario count; the JSON
+//! schema is identical.
+
+use std::time::Instant;
+
+use mvbc_adversary::campaign::{CampaignReport, CampaignRunner};
+use mvbc_bench::{manifest_json, Table};
+
+/// Campaign seed: the whole batch is a pure function of it.
+const SEED: u64 = 47;
+
+// Bench harness: wall-clock timing is the deliverable, exempt from the
+// determinism mirror in clippy.toml.
+#[allow(clippy::disallowed_methods)]
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast" || a == "--quick");
+    let runs = if fast { 12 } else { 96 };
+
+    let mut runner = CampaignRunner::new(SEED);
+    let mut report = CampaignReport::new();
+    let mut artifacts: Vec<String> = Vec::new();
+    let started = Instant::now();
+    for _ in 0..runs {
+        let run = runner.next_run();
+        report.absorb(&run);
+        if !run.outcome.violations.is_empty() {
+            for v in &run.outcome.violations {
+                eprintln!("{}: VIOLATION [{}] {}", run.scenario.name, v.check, v.detail);
+            }
+            std::fs::create_dir_all("results").expect("create results/");
+            let path = format!("results/{}.json", run.scenario.name);
+            std::fs::write(&path, run.scenario.to_json() + "\n")
+                .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
+            artifacts.push(path);
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let scenarios_per_sec = runs as f64 / elapsed;
+
+    let mut table = Table::new(&["behavior", "corruptions drawn"]);
+    for (kind, count) in &report.behavior_mix {
+        table.row(vec![kind.clone(), count.to_string()]);
+    }
+    println!(
+        "# E23: adversary-campaign gauntlet throughput (seed {SEED}){}\n",
+        if fast { " (--fast)" } else { "" }
+    );
+    println!("{}", table.to_markdown());
+    println!(
+        "{} scenario(s) in {:.2}s ({:.1} scenarios/s): {} slot(s), {} command(s) committed, \
+         {} diagnosis invocation(s), worst commit vtime {} tick(s)",
+        report.scenarios,
+        elapsed,
+        scenarios_per_sec,
+        report.total_slots,
+        report.total_commands,
+        report.total_diagnosis,
+        report.worst_commit_vtime,
+    );
+
+    let mix_json: Vec<String> = report
+        .behavior_mix
+        .iter()
+        .map(|(kind, count)| format!("\"{kind}\": {count}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"campaign\",\n  \"schema\": \"mvbc.campaign.v1\",\n  \
+         \"fast\": {fast},\n  \"manifest\": {},\n  \"campaign_seed\": \"{SEED}\",\n  \
+         \"runs\": {runs},\n  \"scenarios_per_sec\": {scenarios_per_sec:.2},\n  \
+         \"behavior_mix\": {{ {} }},\n  \"total_slots\": {},\n  \"total_commands\": {},\n  \
+         \"total_diagnosis\": {},\n  \"worst_commit_vtime\": {},\n  \"violations\": {}\n}}\n",
+        // The campaign mixes system sizes, so the manifest's n/t carry 0
+        // ("mixed"); the real sizes live in each drawn scenario.
+        manifest_json(0, 0, SEED, "event-driven"),
+        mix_json.join(", "),
+        report.total_slots,
+        report.total_commands,
+        report.total_diagnosis,
+        report.worst_commit_vtime,
+        report.violations,
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_campaign.json", json)
+        .expect("write results/BENCH_campaign.json");
+    println!("\nwrote results/BENCH_campaign.json");
+
+    // Headline: the gauntlet is only worth its CI minutes if it is
+    // clean on model-preserving draws and actually exercises the
+    // behaviour catalogue.
+    assert!(
+        report.failed.is_empty(),
+        "campaign found {} invariant violation(s); replay with: {}",
+        report.violations,
+        artifacts
+            .iter()
+            .map(|p| format!("mvbc smr soak --scenario {p}"))
+            .collect::<Vec<_>>()
+            .join("; "),
+    );
+    if !fast {
+        assert_eq!(
+            report.behavior_mix.len(),
+            6,
+            "a full campaign should draw all six behaviours, got {:?}",
+            report.behavior_mix,
+        );
+    }
+    assert!(report.total_commands > 0, "campaign committed nothing");
+}

@@ -17,6 +17,8 @@ usage:
                  [--topology clique|clusters:<A,B,...>] [--net-seed <N>]
                  [--partition <START>:<HEAL>:<ISLAND>[:drop|delay]] [--max-vtime <T>]
                  [--report <FILE>]
+  mvbc smr soak  [--runs <N>] [--seed <N>] [--scenario <FILE>]
+                 [--emit-failures <DIR>]
   mvbc inspect   <FILE>
   mvbc info      --n <N> --t <T> --l <BYTES>
   mvbc soak      [--runs <N>] [--seed <N>]
@@ -32,7 +34,14 @@ flags:
   --differing  give every processor a different input (consensus only)
   --bsb      Broadcast_Single_Bit substrate (default phase-king; consensus only)
   --trace    write the full network trace as CSV to FILE (consensus only)
-  --runs     number of randomized soak iterations (default 50)
+  --runs     number of randomized soak iterations (default 50; smr soak
+             defaults to 64 campaign scenarios)
+  --scenario replay one scenario JSON instead of generating (smr soak only;
+             a failure artifact emitted by an earlier campaign replays the
+             violation exactly)
+  --emit-failures  directory that receives the offending scenario JSON when
+             a campaign run violates an invariant (smr soak only, default
+             results)
   --slots    number of replicated-log slots (smr only)
   --batch    max commands per slot batch (smr only, default 8)
   --batch-bytes  byte budget per slot batch (smr only, default unbounded)
@@ -350,6 +359,20 @@ pub enum Command {
         /// The artifact to load.
         path: String,
     },
+    /// Adversary campaign soak over the replicated log: bounded-random
+    /// scenarios drawn from a seeded generator (or one scenario replayed
+    /// from JSON), each machine-checked against the paper's guarantees,
+    /// with failing scenarios emitted as replayable JSON artifacts.
+    SmrSoak {
+        /// Number of generated scenarios.
+        runs: usize,
+        /// Campaign seed.
+        seed: u64,
+        /// Replay this scenario JSON instead of generating.
+        scenario: Option<String>,
+        /// Directory receiving failing-scenario artifacts.
+        emit_failures: String,
+    },
     /// Randomized soak: many consensus runs with random parameters,
     /// inputs and adversaries, asserting the paper's properties on each.
     Soak {
@@ -421,6 +444,15 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         return Ok(Command::Soak {
             runs: flags.usize_of("--runs")?.unwrap_or(50),
             seed: flags.usize_of("--seed")?.unwrap_or(7) as u64,
+        });
+    }
+    if sub == "smr" && argv.get(1).map(String::as_str) == Some("soak") {
+        let flags = Flags { argv: &argv[2..] };
+        return Ok(Command::SmrSoak {
+            runs: flags.usize_of("--runs")?.unwrap_or(64),
+            seed: flags.usize_of("--seed")?.unwrap_or(7) as u64,
+            scenario: flags.value_of("--scenario").map(String::from),
+            emit_failures: flags.value_of("--emit-failures").unwrap_or("results").to_owned(),
         });
     }
     if sub == "smr" {
@@ -702,6 +734,30 @@ mod tests {
         );
         assert!(parse(&argv("inspect")).is_err());
         assert!(parse(&argv("inspect --n")).is_err());
+    }
+
+    #[test]
+    fn parses_smr_soak() {
+        assert_eq!(
+            parse(&argv("smr soak")).unwrap(),
+            Command::SmrSoak {
+                runs: 64,
+                seed: 7,
+                scenario: None,
+                emit_failures: "results".into(),
+            }
+        );
+        assert_eq!(
+            parse(&argv("smr soak --runs 8 --seed 3 --emit-failures /tmp/f")).unwrap(),
+            Command::SmrSoak { runs: 8, seed: 3, scenario: None, emit_failures: "/tmp/f".into() }
+        );
+        match parse(&argv("smr soak --scenario bad.json")).unwrap() {
+            Command::SmrSoak { scenario, .. } => assert_eq!(scenario.as_deref(), Some("bad.json")),
+            other => panic!("wrong command {other:?}"),
+        }
+        // A regular smr run still parses (and still demands its flags).
+        assert!(matches!(parse(&argv("smr --n 4 --t 1 --slots 5")).unwrap(), Command::Smr { .. }));
+        assert!(parse(&argv("smr")).is_err());
     }
 
     #[test]

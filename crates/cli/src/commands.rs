@@ -1,9 +1,13 @@
 //! Command execution: run the simulations and print human-oriented
 //! summaries.
 
+use mvbc_adversary::campaign::{run_scenario, CampaignReport, CampaignRunner, Scenario};
 use mvbc_adversary::{CorruptSymbolTo, RandomAdversary, Silent, WorstCaseDiagnosis};
 use mvbc_bsb::{BsbDriver, DolevStrongDriver, EigDriver, PhaseKingDriver};
-use mvbc_broadcast::attacks::{EquivocatingSource, LyingEcho, SilentSource};
+use mvbc_broadcast::attacks::{
+    EquivocatingSource, FalseDetector, FramingEcho, LyingDiagnosisSource, LyingEcho, SilentEcho,
+    SilentSource,
+};
 use mvbc_broadcast::{simulate_broadcast, BroadcastConfig, BroadcastHooks, NoopBroadcastHooks};
 use mvbc_core::{dsel, simulate_consensus_traced, ConsensusConfig, NoopHooks, ProtocolHooks};
 use mvbc_netsim::trace::TraceSink;
@@ -57,6 +61,9 @@ pub fn run(cmd: Command) {
         Command::Inspect { path } => inspect(&path),
         Command::Info { n, t, l } => info(n, t, l),
         Command::Soak { runs, seed } => soak(runs, seed),
+        Command::SmrSoak { runs, seed, scenario, emit_failures } => {
+            smr_soak(runs, seed, scenario, &emit_failures)
+        }
     }
 }
 
@@ -128,11 +135,172 @@ fn soak(runs: usize, seed: u64) {
         if run.reports[honest[0]].diagnosis_invocations > 0 {
             diagnosed_runs += 1;
         }
+
+        // Paired broadcast draw: one single-shot broadcast execution under
+        // a random broadcast-layer attack, asserting the per-execution
+        // t(t+2) dispute budget alongside the consensus t(t+1) above.
+        let bl = 8 + rng.below(64);
+        let source = rng.below(n);
+        let bfaulty = rng.below(n);
+        let bcfg = mvbc_broadcast::BroadcastConfig::new(n, t, source, bl)
+            .expect("soak draws valid broadcast parameters");
+        let bvalue = workload(bl, rng.next());
+        let bhooks: Vec<Box<dyn BroadcastHooks>> = (0..n)
+            .map(|i| -> Box<dyn BroadcastHooks> {
+                if i != bfaulty {
+                    return NoopBroadcastHooks::boxed();
+                }
+                if i == source {
+                    match rng.below(3) {
+                        0 => Box::new(EquivocatingSource),
+                        1 => Box::new(SilentSource),
+                        _ => Box::new(LyingDiagnosisSource),
+                    }
+                } else {
+                    match rng.below(4) {
+                        0 => Box::new(LyingEcho::new(vec![(bfaulty + 1) % n])),
+                        1 => Box::new(SilentEcho),
+                        2 => Box::new(FramingEcho),
+                        _ => Box::new(FalseDetector),
+                    }
+                }
+            })
+            .collect();
+        let brun = simulate_broadcast(&bcfg, bvalue.clone(), bhooks, MetricsSink::new());
+        let bhonest: Vec<usize> = (0..n).filter(|&i| i != bfaulty).collect();
+        for w in bhonest.windows(2) {
+            assert_eq!(
+                brun.outputs[w[0]], brun.outputs[w[1]],
+                "soak run {run_idx}: broadcast agreement violated (n={n}, t={t}, source={source})"
+            );
+        }
+        if source != bfaulty {
+            assert_eq!(
+                brun.outputs[bhonest[0]], bvalue,
+                "soak run {run_idx}: broadcast validity violated (n={n}, t={t}, source={source})"
+            );
+        }
+        for &h in &bhonest {
+            assert!(
+                brun.reports[h].diagnosis_invocations <= (t * (t + 2)) as u64,
+                "soak run {run_idx}: broadcast dispute budget t(t+2) exceeded \
+                 ({} > {}, n={n}, t={t})",
+                brun.reports[h].diagnosis_invocations,
+                t * (t + 2),
+            );
+            assert!(brun.reports[h].isolated.iter().all(|&i| i == bfaulty));
+        }
     }
     println!(
-        "soak: {runs} randomized runs OK ({diagnosed_runs} reached the diagnosis stage); \
-         validity, consistency, the t(t+1) bound and isolation safety held on every run"
+        "soak: {runs} randomized consensus+broadcast run pairs OK ({diagnosed_runs} reached the \
+         diagnosis stage); validity, consistency, the consensus t(t+1) and broadcast t(t+2) \
+         dispute budgets and isolation safety held on every run"
     );
+}
+
+/// The adversary-campaign soak: generated (or replayed) scenarios,
+/// each machine-checked; failing scenarios are emitted as replayable
+/// JSON artifacts and fail the process.
+fn smr_soak(runs: usize, seed: u64, scenario_path: Option<String>, emit_failures: &str) {
+    if let Some(path) = scenario_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("smr soak: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let scenario = Scenario::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("smr soak: {path} is not a valid scenario: {e}");
+            std::process::exit(2);
+        });
+        let outcome = run_scenario(&scenario).unwrap_or_else(|e| {
+            eprintln!("smr soak: scenario {path} failed to run: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "replay {}: n = {}, t = {}, {} slot(s), pipeline depth {}, {} corruption(s), {}",
+            scenario.name,
+            scenario.n,
+            scenario.t,
+            scenario.slots,
+            scenario.pipeline,
+            scenario.corruptions.len(),
+            if scenario.net.is_some() { "event-driven" } else { "round-barrier" },
+        );
+        if !scenario.is_model_preserving() {
+            println!(
+                "note: the scenario leaves the error-free model (more than t corruptions \
+                 or drop partitions) — violations are expected, not protocol bugs"
+            );
+        }
+        println!(
+            "log digest {:016x}, trace digest {:016x}; {} command(s) committed, \
+             {} fallback slot(s), {} diagnosis invocation(s) (budget t(t+2) = {})",
+            outcome.log_digest,
+            outcome.trace_digest,
+            outcome.committed_commands,
+            outcome.fallback_slots,
+            outcome.diagnosis_total,
+            scenario.t * (scenario.t + 2),
+        );
+        if outcome.violations.is_empty() {
+            println!("replay: every invariant held");
+        } else {
+            for v in &outcome.violations {
+                println!("VIOLATION [{}] {}", v.check, v.detail);
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut runner = CampaignRunner::new(seed);
+    let mut report = CampaignReport::new();
+    let mut artifacts: Vec<String> = Vec::new();
+    for _ in 0..runs {
+        let run = runner.next_run();
+        report.absorb(&run);
+        if run.outcome.violations.is_empty() {
+            continue;
+        }
+        for v in &run.outcome.violations {
+            println!("{}: VIOLATION [{}] {}", run.scenario.name, v.check, v.detail);
+        }
+        if let Err(e) = std::fs::create_dir_all(emit_failures) {
+            eprintln!("smr soak: cannot create {emit_failures}: {e}");
+        }
+        let path = format!("{emit_failures}/{}.json", run.scenario.name);
+        match std::fs::write(&path, run.scenario.to_json() + "\n") {
+            Ok(()) => artifacts.push(path),
+            Err(e) => eprintln!("smr soak: cannot write {path}: {e}"),
+        }
+    }
+    let mix: Vec<String> =
+        report.behavior_mix.iter().map(|(k, v)| format!("{k} x{v}")).collect();
+    println!(
+        "smr soak: {} campaign scenario(s) from seed {seed}; {} slot(s), {} command(s) \
+         committed, {} diagnosis invocation(s), worst commit vtime {} tick(s)",
+        report.scenarios,
+        report.total_slots,
+        report.total_commands,
+        report.total_diagnosis,
+        report.worst_commit_vtime,
+    );
+    println!("behavior mix: {}", mix.join(", "));
+    if report.failed.is_empty() {
+        println!(
+            "agreement, validity, prefix consistency, sequential equivalence, isolation \
+             safety and the t(t+2) dispute budget held on every scenario"
+        );
+    } else {
+        println!(
+            "{} scenario(s) violated invariants ({} violation(s) total):",
+            report.failed.len(),
+            report.violations,
+        );
+        for path in &artifacts {
+            println!("  replay with: mvbc smr soak --scenario {path}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn bsb_fleet(choice: BsbChoice, n: usize) -> Vec<Box<dyn BsbDriver>> {

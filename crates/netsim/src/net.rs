@@ -192,6 +192,21 @@ impl Partition {
         }
     }
 
+    /// An eclipse-style partition: a single `node` is cut off from every
+    /// peer for dispatches in `[start, heal)`. With
+    /// [`PartitionBehavior::Delay`] this models a suppressed (eclipsed)
+    /// replica whose traffic is withheld and released at the heal — the
+    /// synchronous model is preserved, so the protocols above stay
+    /// correct while the virtual clock pays for the outage.
+    pub fn of_node(
+        node: NodeId,
+        start: VirtualTime,
+        heal: VirtualTime,
+        behavior: PartitionBehavior,
+    ) -> Self {
+        Partition { start, heal, island: vec![node], behavior }
+    }
+
     /// True when a message dispatched at `at` from `from` to `to`
     /// crosses this partition's cut while it is active.
     pub fn cuts(&self, at: VirtualTime, from: NodeId, to: NodeId) -> bool {
@@ -346,6 +361,11 @@ mod tests {
         assert!(!p.cuts(200, 0, 2), "heal time is exclusive");
         assert!(!p.cuts(150, 2, 3), "island-internal traffic flows");
         assert!(!p.cuts(150, 0, 1), "mainland-internal traffic flows");
+        // Eclipse form: one node cut off in both directions.
+        let e = Partition::of_node(2, 10, 20, PartitionBehavior::Delay);
+        assert_eq!(e.island, vec![2]);
+        assert!(e.cuts(15, 2, 0) && e.cuts(15, 0, 2));
+        assert!(!e.cuts(15, 0, 1), "mainland traffic unaffected by an eclipse");
     }
 
     #[test]

@@ -396,6 +396,7 @@ pub fn run_replicated_log<S: StateMachine>(
             committed,
             fallback: caught,
             diagnosis_ran: report.diagnosis_invocations > 0,
+            diagnosis_invocations: report.diagnosis_invocations,
             bits_sent_by_me: delta.logical_bits_by_node(me),
             rounds: delta.rounds(),
             commit_vtime: ctx.vtime(),
@@ -675,6 +676,7 @@ pub fn run_replicated_log_pipelined<S: StateMachine>(
                 committed,
                 fallback: caught,
                 diagnosis_ran: report.diagnosis_invocations > 0,
+                diagnosis_invocations: report.diagnosis_invocations,
                 bits_sent_by_me: flight.bits,
                 rounds: flight.rounds,
                 commit_vtime: ctx.vtime(),

@@ -25,6 +25,11 @@ pub struct SlotReport {
     pub fallback: bool,
     /// Whether any generation of this slot ran the diagnosis stage.
     pub diagnosis_ran: bool,
+    /// How many generations of this slot ran the diagnosis stage. The
+    /// diagnosis graph persists across the log, so the *sum* of this
+    /// field over all slots is bounded by the paper's global dispute
+    /// budget `t(t+2)` — campaign checkers assert exactly that.
+    pub diagnosis_invocations: u64,
     /// Logical bits *this* replica sent during the slot (exact per-slot
     /// delta; see [`mvbc_metrics::Snapshot::delta`]).
     pub bits_sent_by_me: u64,
@@ -77,6 +82,7 @@ impl SlotReport {
             committed: Vec::new(),
             fallback: true,
             diagnosis_ran: false,
+            diagnosis_invocations: 0,
             bits_sent_by_me: 0,
             rounds: 0,
             commit_vtime,

@@ -1,0 +1,206 @@
+//! Adversary-campaign harness: scenario JSON round-trips, replay
+//! determinism, a generated gauntlet, and the known-bad fixture the
+//! invariant checker must catch.
+//!
+//! The campaign treats the whole adversarial environment as data (a
+//! `Scenario` document): these tests pin the properties the nightly CI
+//! gauntlet relies on — a scenario replays byte-exactly from its JSON,
+//! a replay reproduces the identical committed log and message trace,
+//! every model-preserving draw upholds the paper's guarantees, and a
+//! scenario that deliberately steps outside the model (a drop
+//! partition) is caught and reproduces the identical violation from its
+//! emitted artifact.
+
+use mvbc_adversary::campaign::{
+    run_scenario, Behavior, CampaignReport, CampaignRunner, Corruption, LinkPlan, NetPlan,
+    PartitionPlan, Scenario, ScenarioGenerator,
+};
+
+/// The known-bad fixture: fault-free replicas cut apart by a *drop*
+/// partition (messages lost, not delayed), which violates the
+/// synchronous model the protocol assumes.
+fn known_bad_fixture() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/known_bad_drop_partition.json"
+    );
+    std::fs::read_to_string(path).expect("fixture exists")
+}
+
+#[test]
+fn scenario_json_round_trip_is_identity() {
+    // Hand-built scenario exercising every field, including a seed above
+    // 2^53 (the string-encoded form) and all three link models.
+    for link in [
+        LinkPlan::Fixed(3),
+        LinkPlan::Jitter { base: 2, jitter: 5 },
+        LinkPlan::Wan { intra: 1, inter: 12, jitter: 2 },
+    ] {
+        let scenario = Scenario {
+            name: "round-trip".to_owned(),
+            seed: u64::MAX - 17,
+            n: 7,
+            t: 2,
+            slots: 9,
+            batch: 2,
+            pipeline: 2,
+            max_vtime: Some(1_000_000),
+            net: Some(NetPlan {
+                link,
+                clusters: vec![4, 3],
+                partitions: vec![PartitionPlan {
+                    start: 10,
+                    heal: 60,
+                    island: vec![5],
+                    drop: false,
+                }],
+                net_seed: u64::MAX - 41,
+            }),
+            corruptions: vec![
+                Corruption {
+                    replica: 1,
+                    from_slot: 2,
+                    until_slot: Some(6),
+                    behavior: Behavior::LyingEcho { step: 3 },
+                },
+                Corruption {
+                    replica: 4,
+                    from_slot: 0,
+                    until_slot: None,
+                    behavior: Behavior::Frame { slots: vec![1, 7] },
+                },
+            ],
+        };
+        let text = scenario.to_json();
+        let parsed = Scenario::from_json(&text).expect("rendered scenario parses");
+        assert_eq!(parsed, scenario, "parse(render(s)) == s");
+        assert_eq!(parsed.to_json(), text, "render(parse(render(s))) is byte-identical");
+    }
+}
+
+#[test]
+fn generated_scenarios_round_trip() {
+    let mut generator = ScenarioGenerator::new(0xC0FFEE);
+    for _ in 0..40 {
+        let scenario = generator.next_scenario();
+        let text = scenario.to_json();
+        let parsed = Scenario::from_json(&text).expect("generated scenario parses");
+        assert_eq!(parsed, scenario);
+        assert_eq!(parsed.to_json(), text);
+    }
+}
+
+#[test]
+fn replay_is_deterministic_in_log_and_trace() {
+    // A scenario with every moving part switched on: event-driven WAN,
+    // an eclipse partition, pipelining, and a mid-run corruption.
+    let scenario = Scenario {
+        name: "replay-pin".to_owned(),
+        seed: 99,
+        n: 7,
+        t: 2,
+        slots: 8,
+        batch: 2,
+        pipeline: 2,
+        max_vtime: None,
+        net: Some(NetPlan {
+            link: LinkPlan::Wan { intra: 2, inter: 9, jitter: 3 },
+            clusters: vec![4, 3],
+            partitions: vec![PartitionPlan { start: 20, heal: 120, island: vec![6], drop: false }],
+            net_seed: 5,
+        }),
+        corruptions: vec![Corruption {
+            replica: 2,
+            from_slot: 3,
+            until_slot: None,
+            behavior: Behavior::Equivocate,
+        }],
+    };
+    let first = run_scenario(&scenario).expect("scenario runs");
+    let second = run_scenario(&scenario).expect("scenario runs again");
+    assert_eq!(first.log_digest, second.log_digest, "identical committed log");
+    assert_eq!(first.trace_digest, second.trace_digest, "identical message trace");
+    assert_eq!(first, second, "identical outcome in full");
+    assert!(first.violations.is_empty(), "{:?}", first.violations);
+
+    // The round-trip through JSON replays the same execution.
+    let reparsed = Scenario::from_json(&scenario.to_json()).unwrap();
+    let replayed = run_scenario(&reparsed).expect("reparsed scenario runs");
+    assert_eq!(replayed, first, "replay from JSON reproduces the run exactly");
+}
+
+#[test]
+fn generated_campaign_upholds_every_invariant() {
+    let mut runner = CampaignRunner::new(2026);
+    let mut report = CampaignReport::new();
+    for _ in 0..12 {
+        let run = runner.next_run();
+        assert!(
+            run.outcome.violations.is_empty(),
+            "scenario {} violated invariants: {:?}\nreplay JSON:\n{}",
+            run.scenario.name,
+            run.outcome.violations,
+            run.scenario.to_json(),
+        );
+        report.absorb(&run);
+    }
+    assert_eq!(report.scenarios, 12);
+    assert!(report.failed.is_empty());
+    assert!(report.total_commands > 0);
+}
+
+#[test]
+fn known_bad_scenario_is_caught_and_replays_identically() {
+    let scenario = Scenario::from_json(&known_bad_fixture()).expect("fixture parses");
+    assert!(
+        !scenario.is_model_preserving(),
+        "the fixture must step outside the error-free model"
+    );
+
+    let outcome = run_scenario(&scenario).expect("fixture runs");
+    assert!(!outcome.violations.is_empty(), "the checker must catch the drop partition");
+    let checks: Vec<&str> = outcome.violations.iter().map(|v| v.check).collect();
+    assert!(checks.contains(&"agreement"), "drop cut diverges the logs: {checks:?}");
+    assert!(
+        checks.contains(&"honest-isolated"),
+        "the eclipsed fault-free replica looks Byzantine-silent and is isolated: {checks:?}"
+    );
+
+    // Replaying the emitted artifact (render → parse → run) reproduces
+    // the identical violation set and digests — the property the
+    // nightly gauntlet's failure artifacts depend on.
+    let emitted = scenario.to_json();
+    let replayed = run_scenario(&Scenario::from_json(&emitted).unwrap()).unwrap();
+    assert_eq!(replayed, outcome, "artifact replay reproduces the violation exactly");
+}
+
+#[test]
+fn campaign_checker_flags_a_deliberately_broken_tweak() {
+    // Take a healthy generated scenario and break it by hand: over-cap
+    // corruption (more than t corrupted replicas) is flagged as
+    // non-model-preserving, and a drop partition on a healthy net plan
+    // flips is_model_preserving the same way.
+    let mut generator = ScenarioGenerator::new(31);
+    let healthy = generator.next_scenario();
+    assert!(healthy.is_model_preserving());
+
+    let mut over_cap = healthy.clone();
+    for r in 0..healthy.n {
+        over_cap.corruptions.push(Corruption {
+            replica: r,
+            from_slot: 0,
+            until_slot: None,
+            behavior: Behavior::SilentEcho,
+        });
+    }
+    assert!(!over_cap.is_model_preserving(), "> t corruptions leaves the model");
+
+    let mut dropped = healthy.clone();
+    dropped.net = Some(NetPlan {
+        link: LinkPlan::Fixed(2),
+        clusters: Vec::new(),
+        partitions: vec![PartitionPlan { start: 1, heal: 50_000, island: vec![0], drop: true }],
+        net_seed: 3,
+    });
+    assert!(!dropped.is_model_preserving(), "drop partitions leave the model");
+}
