@@ -32,8 +32,13 @@ use mvbc_rscode::{reference, StripedCode, Symbol};
 use mvbc_smr::{simulate_smr, synthetic_workloads, HonestReplica, SmrConfig, SmrHooks};
 
 const GEOMETRIES: [(usize, usize); 2] = [(7, 2), (16, 5)];
-const SIZES: [usize; 4] = [1 << 10, 4 << 10, 16 << 10, 64 << 10];
+const SIZES: [usize; 5] = [1 << 10, 4 << 10, 16 << 10, 64 << 10, 1 << 20];
 const SIZES_FAST: [usize; 2] = [1 << 10, 64 << 10];
+/// Large-committee geometry: batched-only (the scalar reference is too
+/// slow to sweep at this scale; equality is still pinned at 4 KiB).
+const BIG_N: (usize, usize) = (32, 10);
+const BIG_SIZES: [usize; 2] = [64 << 10, 1 << 20];
+const BIG_SIZES_FAST: [usize; 1] = [64 << 10];
 const SEED: u64 = 41;
 
 /// Headline acceptance case: n = 7, t = 2, 64 KiB values.
@@ -142,6 +147,53 @@ fn measure_case(n: usize, t: usize, value_bytes: usize, fast: bool) -> CaseMeasu
     }
 }
 
+struct BigCase {
+    n: usize,
+    t: usize,
+    value_bytes: usize,
+    encode_mbps: f64,
+    decode_mbps: f64,
+    consistency_mbps: f64,
+}
+
+/// Batched-only measurement for the large-committee geometry. The
+/// scalar reference would take minutes per row here, so batched ==
+/// scalar is pinned once at 4 KiB and the sweep times only the
+/// production path.
+fn measure_big_case(n: usize, t: usize, value_bytes: usize, fast: bool) -> BigCase {
+    let pin_bytes = 4 << 10;
+    let pin_code = StripedCode::c2t(n, t, pin_bytes).expect("valid geometry");
+    let pin_value = workload_value(pin_bytes, SEED ^ (n as u64) << 32 ^ pin_bytes as u64);
+    let pin_symbols = pin_code.encode_value(&pin_value).expect("encode");
+    let pin_ref = reference::encode_value(&pin_code, &pin_value).expect("reference encode");
+    assert_eq!(pin_symbols, pin_ref, "batched and scalar codewords must be identical");
+
+    let code = StripedCode::c2t(n, t, value_bytes).expect("valid geometry");
+    let k = code.layout().k;
+    let value = workload_value(value_bytes, SEED ^ (n as u64) << 32 ^ value_bytes as u64);
+    let symbols = code.encode_value(&value).expect("encode");
+    let picks: Vec<(usize, Symbol)> = symbols.iter().cloned().enumerate().skip(n - k).collect();
+    let all: Vec<(usize, Symbol)> = symbols.iter().cloned().enumerate().collect();
+    assert_eq!(code.decode_value(&picks).expect("decode"), value, "decode must invert encode");
+    assert!(code.is_consistent(&all).expect("consistency"));
+
+    let iters = (16 * (1 << 20) / value_bytes).clamp(4, if fast { 16 } else { 256 });
+    BigCase {
+        n,
+        t,
+        value_bytes,
+        encode_mbps: throughput_mbps(value_bytes, iters, || {
+            std::hint::black_box(code.encode_value(&value).unwrap());
+        }),
+        decode_mbps: throughput_mbps(value_bytes, iters, || {
+            std::hint::black_box(code.decode_value(&picks).unwrap());
+        }),
+        consistency_mbps: throughput_mbps(value_bytes, iters, || {
+            std::hint::black_box(code.is_consistent(&all).unwrap());
+        }),
+    }
+}
+
 struct SmrMeasure {
     n: usize,
     t: usize,
@@ -188,12 +240,19 @@ fn main() {
     let fast = std::env::args().any(|a| a == "--fast" || a == "--quick");
     let sizes: &[usize] = if fast { &SIZES_FAST } else { &SIZES };
 
+    let big_sizes: &[usize] = if fast { &BIG_SIZES_FAST } else { &BIG_SIZES };
+    let threads = mvbc_rscode::codec_threads();
+
     let mut cases = Vec::new();
     for &(n, t) in &GEOMETRIES {
         for &len in sizes {
             cases.push(measure_case(n, t, len, fast));
         }
     }
+    let big_cases: Vec<BigCase> = big_sizes
+        .iter()
+        .map(|&len| measure_big_case(BIG_N.0, BIG_N.1, len, fast))
+        .collect();
     let smr = measure_smr(fast);
 
     let mut table = Table::new(&[
@@ -224,6 +283,26 @@ fn main() {
     }
     println!("# E18: codec wall-clock — batched slice kernels vs scalar reference{}\n", if fast { " (--fast)" } else { "" });
     println!("{}", table.to_markdown());
+    let mut big_table = Table::new(&[
+        "n",
+        "t",
+        "value KiB",
+        "enc MB/s",
+        "dec MB/s",
+        "chk MB/s",
+    ]);
+    for c in &big_cases {
+        big_table.row(vec![
+            c.n.to_string(),
+            c.t.to_string(),
+            (c.value_bytes / 1024).to_string(),
+            format!("{:.1}", c.encode_mbps),
+            format!("{:.1}", c.decode_mbps),
+            format!("{:.1}", c.consistency_mbps),
+        ]);
+    }
+    println!("large committee (batched only, {threads} codec worker(s)):\n");
+    println!("{}", big_table.to_markdown());
     println!(
         "smr --pipeline end-to-end: n = {}, t = {}, {} slots x {} commands at depth {} in {:.0} ms ({} rounds, {} commands)",
         smr.n, smr.t, smr.slots, smr.batch, smr.depth, smr.wall_ms, smr.rounds, smr.commands
@@ -256,10 +335,20 @@ fn main() {
             )
         })
         .collect();
+    let big_json: Vec<String> = big_cases
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{ \"n\": {}, \"t\": {}, \"value_bytes\": {}, \"encode_mbps\": {:.2}, \"decode_mbps\": {:.2}, \"consistency_mbps\": {:.2}, \"identical\": true }}",
+                c.n, c.t, c.value_bytes, c.encode_mbps, c.decode_mbps, c.consistency_mbps,
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"codec\",\n  \"fast\": {fast},\n  \"manifest\": {},\n  \"cases\": [\n{}\n  ],\n  \"headline\": {{ \"n\": {}, \"t\": {}, \"value_bytes\": {}, \"encode_decode_speedup\": {:.2}, \"required_min\": {HEADLINE_MIN_SPEEDUP} }},\n  \"smr_pipeline\": {{ \"n\": {}, \"t\": {}, \"slots\": {}, \"batch_commands\": {}, \"depth\": {}, \"wall_ms\": {:.1}, \"rounds\": {}, \"commands\": {} }}\n}}\n",
+        "{{\n  \"experiment\": \"codec\",\n  \"fast\": {fast},\n  \"threads\": {threads},\n  \"manifest\": {},\n  \"cases\": [\n{}\n  ],\n  \"big_n_cases\": [\n{}\n  ],\n  \"headline\": {{ \"n\": {}, \"t\": {}, \"value_bytes\": {}, \"encode_decode_speedup\": {:.2}, \"required_min\": {HEADLINE_MIN_SPEEDUP} }},\n  \"smr_pipeline\": {{ \"n\": {}, \"t\": {}, \"slots\": {}, \"batch_commands\": {}, \"depth\": {}, \"wall_ms\": {:.1}, \"rounds\": {}, \"commands\": {} }}\n}}\n",
         manifest_json(HEADLINE.0, HEADLINE.1, SEED, "round-barrier"),
         case_json.join(",\n"),
+        big_json.join(",\n"),
         HEADLINE.0,
         HEADLINE.1,
         HEADLINE.2,

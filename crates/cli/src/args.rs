@@ -13,6 +13,7 @@ usage:
   mvbc smr       --n <N> --t <T> --slots <S> [--batch <CMDS>] [--batch-bytes <B>]
                  [--attack none|equivocate|silent] [--byz <ID>] [--seed <N>]
                  [--pipeline <W>] [--round-timeout-secs <SECS>]
+                 [--codec-threads <N>] [--lanes-pool <N>]
                  [--latency-model fixed:<T>|jitter:<BASE>:<JIT>|wan:<INTRA>:<INTER>[:<JIT>]]
                  [--topology clique|clusters:<A,B,...>] [--net-seed <N>]
                  [--partition <START>:<HEAL>:<ISLAND>[:drop|delay]] [--max-vtime <T>]
@@ -50,6 +51,11 @@ flags:
              committed log is identical at every depth)
   --round-timeout-secs  coordinator wedge-detection timeout (smr only,
              default 60; raise for long logs on slow machines)
+  --codec-threads  worker threads for stripe-sharded codec kernels (smr
+             only, default: available parallelism; committed bytes are
+             identical at every count, 1 is fully serial)
+  --lanes-pool  idle lane worker threads kept warm for reuse (smr only,
+             default: available parallelism; pure wall-clock knob)
   --latency-model  per-link latency in virtual ticks (smr only); selecting one
              switches the run to the event-driven scheduling policy
   --topology clique (default) or clusters:<A,B,...> with sizes summing to n
@@ -287,6 +293,7 @@ fn parse_partition(s: &str) -> Result<PartitionSpec, ParseError> {
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)] // constructed once per invocation; boxing CLI args buys nothing
 pub enum Command {
     /// Run one consensus simulation.
     Consensus {
@@ -346,6 +353,12 @@ pub enum Command {
         byz: usize,
         /// Pipeline depth: log slots in flight concurrently.
         pipeline: usize,
+        /// Codec worker count for stripe-sharded kernels (`None` =
+        /// machine default).
+        codec_threads: Option<usize>,
+        /// Lane-pool size: idle lane workers kept warm (`None` =
+        /// machine default).
+        lanes_pool: Option<usize>,
         /// Coordinator wedge-detection timeout in seconds.
         round_timeout_secs: Option<u64>,
         /// Event-driven network flags (latency model, topology,
@@ -461,6 +474,14 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         if pipeline == 0 {
             return Err(err("--pipeline expects a depth of at least 1"));
         }
+        let codec_threads = flags.usize_of("--codec-threads")?;
+        if codec_threads == Some(0) {
+            return Err(err("--codec-threads expects a worker count of at least 1"));
+        }
+        let lanes_pool = flags.usize_of("--lanes-pool")?;
+        if lanes_pool == Some(0) {
+            return Err(err("--lanes-pool expects a pool size of at least 1"));
+        }
         return Ok(Command::Smr {
             n,
             t: flags.required_usize("--t")?,
@@ -476,6 +497,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             },
             byz: flags.usize_of("--byz")?.unwrap_or(n.saturating_sub(1)),
             pipeline,
+            codec_threads,
+            lanes_pool,
             round_timeout_secs: flags.usize_of("--round-timeout-secs")?.map(|s| s as u64),
             net: NetSpec {
                 latency: flags.value_of("--latency-model").map(parse_latency).transpose()?,
@@ -612,6 +635,8 @@ mod tests {
                 attack: SmrAttack::None,
                 byz: 3,
                 pipeline: 1,
+                codec_threads: None,
+                lanes_pool: None,
                 round_timeout_secs: None,
                 net: NetSpec::default(),
                 report: None,
@@ -649,6 +674,34 @@ mod tests {
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --pipeline 0")).is_err());
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --pipeline x")).is_err());
         assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --round-timeout-secs x")).is_err());
+    }
+
+    #[test]
+    fn parses_smr_perf_knobs() {
+        let cmd = parse(&argv(
+            "smr --n 7 --t 2 --slots 10 --codec-threads 4 --lanes-pool 8",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Smr { codec_threads, lanes_pool, .. } => {
+                assert_eq!(codec_threads, Some(4));
+                assert_eq!(lanes_pool, Some(8));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("smr --n 4 --t 1 --slots 5 --codec-threads 0")),
+            Err(ParseError(
+                "--codec-threads expects a worker count of at least 1".into()
+            ))
+        );
+        assert_eq!(
+            parse(&argv("smr --n 4 --t 1 --slots 5 --lanes-pool 0")),
+            Err(ParseError(
+                "--lanes-pool expects a pool size of at least 1".into()
+            ))
+        );
+        assert!(parse(&argv("smr --n 4 --t 1 --slots 5 --codec-threads x")).is_err());
     }
 
     #[test]

@@ -129,12 +129,32 @@ pub trait Field:
             *b *= c;
         }
     }
+
+    /// Fused batch kernel `dst[i] += Σ_j coeffs[j] * srcs[j][i]` — one
+    /// whole matrix-row application in a single pass over `dst`.
+    ///
+    /// Semantically identical to `coeffs.len()` successive
+    /// [`Field::addmul_slice`] calls (which is the default
+    /// implementation); the packed fields override it to visit the
+    /// accumulator once instead of once per source. See
+    /// [`crate::kernels::addmul_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coeffs` and `srcs` differ in length, or any source
+    /// differs in length from `dst`.
+    fn addmul_rows(coeffs: &[Self], srcs: &[&[Self]], dst: &mut [Self]) {
+        assert_eq!(coeffs.len(), srcs.len(), "addmul_rows shape mismatch");
+        for (&c, src) in coeffs.iter().zip(srcs) {
+            Self::addmul_slice(c, src, dst);
+        }
+    }
 }
 
 macro_rules! impl_gf {
     (
         $(#[$meta:meta])*
-        $name:ident, $repr:ty, $bits:expr, $tables:path
+        $name:ident, $repr:ty, $bits:expr, $tables:path, $packed:path
     ) => {
         $(#[$meta])*
         #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -191,65 +211,27 @@ macro_rules! impl_gf {
                 Self(t.exp[i] as $repr)
             }
 
-            // Log-domain slice kernels: the table reference and `log(c)`
-            // are resolved once per slice instead of once per element,
-            // and `c ∈ {0, 1}` short-circuits to fill/copy/XOR loops.
+            // Packed slice kernels: split tables built once per
+            // multiplier, `u64`-packed XOR accumulate, log-domain
+            // fallback for short slices. See [`crate::packed`].
             fn mul_slice(c: Self, src: &[Self], dst: &mut [Self]) {
-                assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
-                if c.0 == 0 {
-                    dst.fill(Self(0));
-                    return;
-                }
-                if c.0 == 1 {
-                    dst.copy_from_slice(src);
-                    return;
-                }
-                let t = $tables();
-                let lc = t.log[c.0 as usize];
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d = if s.0 == 0 {
-                        Self(0)
-                    } else {
-                        Self(t.exp[(lc + t.log[s.0 as usize]) as usize] as $repr)
-                    };
-                }
+                use $packed as packed;
+                packed::mul_slice(c, src, dst);
             }
 
             fn addmul_slice(c: Self, src: &[Self], dst: &mut [Self]) {
-                assert_eq!(src.len(), dst.len(), "addmul_slice length mismatch");
-                if c.0 == 0 {
-                    return;
-                }
-                if c.0 == 1 {
-                    for (d, s) in dst.iter_mut().zip(src) {
-                        d.0 ^= s.0;
-                    }
-                    return;
-                }
-                let t = $tables();
-                let lc = t.log[c.0 as usize];
-                for (d, s) in dst.iter_mut().zip(src) {
-                    if s.0 != 0 {
-                        d.0 ^= t.exp[(lc + t.log[s.0 as usize]) as usize] as $repr;
-                    }
-                }
+                use $packed as packed;
+                packed::addmul_slice(c, src, dst);
             }
 
             fn mul_slice_in_place(c: Self, buf: &mut [Self]) {
-                if c.0 == 0 {
-                    buf.fill(Self(0));
-                    return;
-                }
-                if c.0 == 1 {
-                    return;
-                }
-                let t = $tables();
-                let lc = t.log[c.0 as usize];
-                for b in buf.iter_mut() {
-                    if b.0 != 0 {
-                        b.0 = t.exp[(lc + t.log[b.0 as usize]) as usize] as $repr;
-                    }
-                }
+                use $packed as packed;
+                packed::mul_slice_in_place(c, buf);
+            }
+
+            fn addmul_rows(coeffs: &[Self], srcs: &[&[Self]], dst: &mut [Self]) {
+                use $packed as packed;
+                packed::addmul_rows(coeffs, srcs, dst);
             }
         }
 
@@ -375,7 +357,8 @@ impl_gf!(
     Gf16,
     u8,
     4,
-    tables::tables16
+    tables::tables16,
+    crate::packed::gf16
 );
 
 impl_gf!(
@@ -383,7 +366,8 @@ impl_gf!(
     Gf256,
     u8,
     8,
-    tables::tables256
+    tables::tables256,
+    crate::packed::gf256
 );
 
 impl_gf!(
@@ -391,7 +375,8 @@ impl_gf!(
     Gf65536,
     u16,
     16,
-    tables::tables65536
+    tables::tables65536,
+    crate::packed::gf65536
 );
 
 #[cfg(test)]

@@ -10,15 +10,20 @@
 //! - [`addmul_slice`] — `dst[i] += c * src[i]` (XOR-accumulate in
 //!   characteristic 2)
 //! - [`mul_slice_in_place`] — `buf[i] = c * buf[i]`
+//! - [`addmul_rows`] — `dst[i] += Σ_j coeffs[j] * srcs[j][i]`, a whole
+//!   matrix-row application fused into one pass over the accumulator
 //!
 //! The table-driven fields ([`Gf16`](crate::Gf16), [`Gf256`](crate::Gf256),
-//! [`Gf65536`](crate::Gf65536)) implement these in the *log domain*: the
-//! lazily-built exp/log tables are dereferenced once per slice (not once
-//! per element, as `a * b` must), `log(c)` is hoisted out of the loop, and
-//! `c ∈ {0, 1}` degenerates to `fill`/`copy`/plain-XOR loops. The
-//! `*_scalar` twins keep the naive per-element formulation as an
-//! executable specification; the equivalence suite pins kernel == scalar
-//! on random inputs for every field.
+//! [`Gf65536`](crate::Gf65536)) implement these with *packed split-table*
+//! loops (see the `packed` module): per-multiplier low/high split tables
+//! are built once per slice call and combined branch-free with XOR, the
+//! `c == 1` accumulate path XORs `u64`-packed words via `chunks_exact`,
+//! `c == 0` degenerates to `fill`/no-op, and short slices fall back to
+//! the log-domain loop (exp/log tables dereferenced once per slice,
+//! `log(c)` hoisted). The `*_scalar` twins keep the naive per-element
+//! formulation as an executable specification; the equivalence suite
+//! pins kernel == scalar on random inputs for every field, every table
+//! tier, and every tail alignment.
 //!
 //! # Examples
 //!
@@ -59,6 +64,24 @@ pub fn mul_slice_in_place<F: Field>(c: F, buf: &mut [F]) {
     F::mul_slice_in_place(c, buf);
 }
 
+/// `dst[i] += Σ_j coeffs[j] * srcs[j][i]` via the field's fused kernel.
+///
+/// One generator-matrix (or inverted-Vandermonde) row applied to all
+/// `coeffs.len()` sources in a single pass over `dst`: the packed
+/// fields build one split-table pair per non-zero coefficient up
+/// front, then XOR every source's product into a register before the
+/// single accumulator store. Equivalent to `coeffs.len()` successive
+/// [`addmul_slice`] calls, but without the `k - 1` extra load+store
+/// round-trips over `dst` per element.
+///
+/// # Panics
+///
+/// Panics when `coeffs` and `srcs` differ in length, or any source
+/// differs in length from `dst`.
+pub fn addmul_rows<F: Field>(coeffs: &[F], srcs: &[&[F]], dst: &mut [F]) {
+    F::addmul_rows(coeffs, srcs, dst);
+}
+
 /// Scalar reference for [`mul_slice`]: one full `a * b` per element.
 ///
 /// # Panics
@@ -80,6 +103,20 @@ pub fn addmul_slice_scalar<F: Field>(c: F, src: &[F], dst: &mut [F]) {
     assert_eq!(src.len(), dst.len(), "addmul_slice length mismatch");
     for (d, &s) in dst.iter_mut().zip(src) {
         *d += c * s;
+    }
+}
+
+/// Scalar reference for [`addmul_rows`]: one [`addmul_slice_scalar`]
+/// pass per coefficient.
+///
+/// # Panics
+///
+/// Panics when `coeffs` and `srcs` differ in length, or any source
+/// differs in length from `dst`.
+pub fn addmul_rows_scalar<F: Field>(coeffs: &[F], srcs: &[&[F]], dst: &mut [F]) {
+    assert_eq!(coeffs.len(), srcs.len(), "addmul_rows shape mismatch");
+    for (&c, src) in coeffs.iter().zip(srcs) {
+        addmul_slice_scalar(c, src, dst);
     }
 }
 

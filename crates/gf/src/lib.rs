@@ -29,9 +29,11 @@
 mod field;
 pub mod kernels;
 mod linalg;
+mod packed;
 mod poly;
 mod tables;
 
 pub use field::{Field, Gf16, Gf256, Gf65536};
 pub use linalg::{solve_linear_system, GfMatrix, LinalgError};
+pub use packed::{addmul_rows_prepared, mul_rows_prepared, PreparedMul65536};
 pub use poly::{interpolate, InterpolateError, Poly};

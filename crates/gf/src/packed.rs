@@ -1,0 +1,982 @@
+//! Packed slice kernels: split-table multiplication + word-packed XOR.
+//!
+//! The log-domain kernels the fields shipped with previously resolve
+//! every product through the shared exp/log tables. For GF(2^16) those
+//! tables are ~768 KiB — every lookup is a probable L2/L3 miss once the
+//! slice no longer fits in cache — and the `s != 0` guard puts a
+//! data-dependent branch in the hot loop. The kernels here use the
+//! standard fast-Reed-Solomon alternative: for each multiplier `c`,
+//! build tiny *split tables* once per slice call, then combine per-part
+//! lookups with XOR (multiplication distributes over the bitwise parts
+//! of the operand):
+//!
+//! ```text
+//! c * x  =  c * (x_lo + x_hi)  =  T_lo[x_lo] ^ T_hi[x_hi]
+//! ```
+//!
+//! - [`Gf16`]: one 16-entry table — the whole field, 16 bytes.
+//! - [`Gf256`]: low/high *nibble* tables, 2 × 16 bytes.
+//! - [`Gf65536`]: low/high nibble tables (4 × 16 × u16 = 128 bytes) for
+//!   mid-size slices, upgraded to low/high *byte* tables
+//!   (2 × 256 × u16 = 1 KiB, still L1-resident) once the slice is long
+//!   enough to amortize the larger build.
+//!
+//! All tables are branch-free in the element loop and stay resident in
+//! L1, so throughput is bounded by two (or four) L1 loads per element
+//! instead of L2-missing log/exp probes. Short slices, where the table
+//! build would dominate, fall back to the original log-domain loop —
+//! kept here as [`mul_fallback`]-style twins so the executable spec
+//! remains in one place.
+//!
+//! The `c == 1` accumulate path (`dst[i] ^= src[i]`, the single hottest
+//! kernel under Reed-Solomon decode) is XOR over `u64`-packed words:
+//! `chunks_exact` blocks are assembled with `from_le_bytes`-style
+//! packing — safe code only, `#![forbid(unsafe_code)]` stands — and the
+//! compiler lowers the assembly/disassembly of each block to plain
+//! 64-bit loads and stores.
+//!
+//! Every function here is pinned element-for-element against the scalar
+//! reference kernels by `crates/gf` unit tests and the workspace
+//! equivalence suite (`tests/codec_equivalence.rs`), across odd lengths
+//! and unaligned tails.
+//!
+//! [`Gf16`]: crate::Gf16
+//! [`Gf256`]: crate::Gf256
+//! [`Gf65536`]: crate::Gf65536
+
+use crate::tables::Tables;
+
+/// Minimum slice length before any split table is built; below this the
+/// log-domain loop wins.
+const SPLIT_MIN: usize = 32;
+
+/// Minimum slice length before [`gf65536`] upgrades from nibble tables
+/// (60 products to build) to byte tables (510 products to build).
+const BYTE_TABLE_MIN: usize = 1024;
+
+/// GF(2^4) packed kernels: the "split" table is the whole field.
+pub(crate) mod gf16 {
+    use super::{Tables, SPLIT_MIN};
+    use crate::field::Gf16;
+    use crate::tables;
+
+    /// `T[x] = c * x` for the full 16-element field.
+    #[inline]
+    fn full_table(t: &Tables, c: u8) -> [u8; 16] {
+        let lc = t.log[c as usize];
+        let mut tab = [0u8; 16];
+        for (x, slot) in tab.iter_mut().enumerate().skip(1) {
+            *slot = t.exp[(lc + t.log[x]) as usize] as u8;
+        }
+        tab
+    }
+
+    pub(crate) fn mul_slice(c: Gf16, src: &[Gf16], dst: &mut [Gf16]) {
+        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+        if c.raw() == 0 {
+            dst.fill(Gf16::new(0));
+            return;
+        }
+        if c.raw() == 1 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let t = tables::tables16();
+        if src.len() < SPLIT_MIN {
+            let lc = t.log[c.raw() as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = if s.raw() == 0 {
+                    Gf16::new(0)
+                } else {
+                    Gf16::new(t.exp[(lc + t.log[s.raw() as usize]) as usize] as u8)
+                };
+            }
+            return;
+        }
+        let tab = full_table(t, c.raw());
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = Gf16::new(tab[s.raw() as usize]);
+        }
+    }
+
+    pub(crate) fn addmul_slice(c: Gf16, src: &[Gf16], dst: &mut [Gf16]) {
+        assert_eq!(src.len(), dst.len(), "addmul_slice length mismatch");
+        if c.raw() == 0 {
+            return;
+        }
+        if c.raw() == 1 {
+            super::xor_u8_repr(src, dst, Gf16::raw, Gf16::new);
+            return;
+        }
+        let t = tables::tables16();
+        if src.len() < SPLIT_MIN {
+            let lc = t.log[c.raw() as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                if s.raw() != 0 {
+                    *d = Gf16::new(d.raw() ^ t.exp[(lc + t.log[s.raw() as usize]) as usize] as u8);
+                }
+            }
+            return;
+        }
+        let tab = full_table(t, c.raw());
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = Gf16::new(d.raw() ^ tab[s.raw() as usize]);
+        }
+    }
+
+    pub(crate) fn addmul_rows(coeffs: &[Gf16], srcs: &[&[Gf16]], dst: &mut [Gf16]) {
+        super::check_rows_shape(coeffs, srcs, dst);
+        if dst.len() < SPLIT_MIN {
+            for (&c, src) in coeffs.iter().zip(srcs) {
+                addmul_slice(c, src, dst);
+            }
+            return;
+        }
+        let t = tables::tables16();
+        let len = dst.len();
+        let live: Vec<([u8; 16], &[Gf16])> = coeffs
+            .iter()
+            .zip(srcs)
+            .filter(|(c, _)| c.raw() != 0)
+            .map(|(&c, &src)| (full_table(t, c.raw()), &src[..len]))
+            .collect();
+        for (i, d) in dst.iter_mut().enumerate() {
+            let mut acc = d.raw();
+            for (tab, src) in &live {
+                acc ^= tab[src[i].raw() as usize];
+            }
+            *d = Gf16::new(acc);
+        }
+    }
+
+    pub(crate) fn mul_slice_in_place(c: Gf16, buf: &mut [Gf16]) {
+        if c.raw() == 0 {
+            buf.fill(Gf16::new(0));
+            return;
+        }
+        if c.raw() == 1 {
+            return;
+        }
+        let t = tables::tables16();
+        if buf.len() < SPLIT_MIN {
+            let lc = t.log[c.raw() as usize];
+            for b in buf.iter_mut() {
+                if b.raw() != 0 {
+                    *b = Gf16::new(t.exp[(lc + t.log[b.raw() as usize]) as usize] as u8);
+                }
+            }
+            return;
+        }
+        let tab = full_table(t, c.raw());
+        for b in buf.iter_mut() {
+            *b = Gf16::new(tab[b.raw() as usize]);
+        }
+    }
+}
+
+/// GF(2^8) packed kernels: low/high nibble split tables.
+pub(crate) mod gf256 {
+    use super::{Tables, SPLIT_MIN};
+    use crate::field::Gf256;
+    use crate::tables;
+
+    /// A nonzero row coefficient prepared for the fused sweep: its
+    /// `(lo, hi)` nibble tables plus the source slice they apply to.
+    type LiveRow<'a> = (([u8; 16], [u8; 16]), &'a [Gf256]);
+
+    /// `(lo, hi)` with `lo[x] = c * x` and `hi[x] = c * (x << 4)`, so
+    /// `c * b = lo[b & 0xf] ^ hi[b >> 4]`.
+    #[inline]
+    fn nibble_tables(t: &Tables, c: u8) -> ([u8; 16], [u8; 16]) {
+        let lc = t.log[c as usize];
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for x in 1..16usize {
+            lo[x] = t.exp[(lc + t.log[x]) as usize] as u8;
+            hi[x] = t.exp[(lc + t.log[x << 4]) as usize] as u8;
+        }
+        (lo, hi)
+    }
+
+    #[inline]
+    fn product(lo: &[u8; 16], hi: &[u8; 16], b: u8) -> u8 {
+        lo[(b & 0xf) as usize] ^ hi[(b >> 4) as usize]
+    }
+
+    pub(crate) fn mul_slice(c: Gf256, src: &[Gf256], dst: &mut [Gf256]) {
+        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+        if c.raw() == 0 {
+            dst.fill(Gf256::new(0));
+            return;
+        }
+        if c.raw() == 1 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let t = tables::tables256();
+        if src.len() < SPLIT_MIN {
+            let lc = t.log[c.raw() as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = if s.raw() == 0 {
+                    Gf256::new(0)
+                } else {
+                    Gf256::new(t.exp[(lc + t.log[s.raw() as usize]) as usize] as u8)
+                };
+            }
+            return;
+        }
+        let (lo, hi) = nibble_tables(t, c.raw());
+        // Eight elements per block: one 64-bit word of packed products.
+        let mut d_blocks = dst.chunks_exact_mut(8);
+        let mut s_blocks = src.chunks_exact(8);
+        for (db, sb) in (&mut d_blocks).zip(&mut s_blocks) {
+            for (d, s) in db.iter_mut().zip(sb) {
+                *d = Gf256::new(product(&lo, &hi, s.raw()));
+            }
+        }
+        for (d, s) in d_blocks.into_remainder().iter_mut().zip(s_blocks.remainder()) {
+            *d = Gf256::new(product(&lo, &hi, s.raw()));
+        }
+    }
+
+    pub(crate) fn addmul_slice(c: Gf256, src: &[Gf256], dst: &mut [Gf256]) {
+        assert_eq!(src.len(), dst.len(), "addmul_slice length mismatch");
+        if c.raw() == 0 {
+            return;
+        }
+        if c.raw() == 1 {
+            super::xor_u8_repr(src, dst, Gf256::raw, Gf256::new);
+            return;
+        }
+        let t = tables::tables256();
+        if src.len() < SPLIT_MIN {
+            let lc = t.log[c.raw() as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                if s.raw() != 0 {
+                    *d =
+                        Gf256::new(d.raw() ^ t.exp[(lc + t.log[s.raw() as usize]) as usize] as u8);
+                }
+            }
+            return;
+        }
+        let (lo, hi) = nibble_tables(t, c.raw());
+        let mut d_blocks = dst.chunks_exact_mut(8);
+        let mut s_blocks = src.chunks_exact(8);
+        for (db, sb) in (&mut d_blocks).zip(&mut s_blocks) {
+            for (d, s) in db.iter_mut().zip(sb) {
+                *d = Gf256::new(d.raw() ^ product(&lo, &hi, s.raw()));
+            }
+        }
+        for (d, s) in d_blocks.into_remainder().iter_mut().zip(s_blocks.remainder()) {
+            *d = Gf256::new(d.raw() ^ product(&lo, &hi, s.raw()));
+        }
+    }
+
+    pub(crate) fn addmul_rows(coeffs: &[Gf256], srcs: &[&[Gf256]], dst: &mut [Gf256]) {
+        super::check_rows_shape(coeffs, srcs, dst);
+        if dst.len() < SPLIT_MIN {
+            for (&c, src) in coeffs.iter().zip(srcs) {
+                addmul_slice(c, src, dst);
+            }
+            return;
+        }
+        let t = tables::tables256();
+        let len = dst.len();
+        let live: Vec<LiveRow<'_>> = coeffs
+            .iter()
+            .zip(srcs)
+            .filter(|(c, _)| c.raw() != 0)
+            .map(|(&c, &src)| (nibble_tables(t, c.raw()), &src[..len]))
+            .collect();
+        for (i, d) in dst.iter_mut().enumerate() {
+            let mut acc = d.raw();
+            for ((lo, hi), src) in &live {
+                acc ^= product(lo, hi, src[i].raw());
+            }
+            *d = Gf256::new(acc);
+        }
+    }
+
+    pub(crate) fn mul_slice_in_place(c: Gf256, buf: &mut [Gf256]) {
+        if c.raw() == 0 {
+            buf.fill(Gf256::new(0));
+            return;
+        }
+        if c.raw() == 1 {
+            return;
+        }
+        let t = tables::tables256();
+        if buf.len() < SPLIT_MIN {
+            let lc = t.log[c.raw() as usize];
+            for b in buf.iter_mut() {
+                if b.raw() != 0 {
+                    *b = Gf256::new(t.exp[(lc + t.log[b.raw() as usize]) as usize] as u8);
+                }
+            }
+            return;
+        }
+        let (lo, hi) = nibble_tables(t, c.raw());
+        for b in buf.iter_mut() {
+            *b = Gf256::new(product(&lo, &hi, b.raw()));
+        }
+    }
+}
+
+/// GF(2^16) packed kernels: nibble split tables, upgraded to byte split
+/// tables for long slices. This is the workspace's default coding field
+/// — the striped codec runs every stripe through these.
+pub(crate) mod gf65536 {
+    use super::{Tables, BYTE_TABLE_MIN, SPLIT_MIN};
+    use crate::field::Gf65536;
+    use crate::tables;
+
+    /// Four nibble tables: `tab[j][x] = c * (x << 4j)`.
+    #[inline]
+    fn nibble_tables(t: &Tables, c: u16) -> [[u16; 16]; 4] {
+        let lc = t.log[c as usize];
+        let mut tabs = [[0u16; 16]; 4];
+        for (j, tab) in tabs.iter_mut().enumerate() {
+            for (x, slot) in tab.iter_mut().enumerate().skip(1) {
+                *slot = t.exp[(lc + t.log[x << (4 * j)]) as usize] as u16;
+            }
+        }
+        tabs
+    }
+
+    /// Two byte tables: `lo[x] = c * x`, `hi[x] = c * (x << 8)`; 1 KiB
+    /// total, L1-resident, one load per operand byte.
+    #[inline]
+    fn byte_tables(t: &Tables, c: u16) -> ([u16; 256], [u16; 256]) {
+        let lc = t.log[c as usize];
+        let mut lo = [0u16; 256];
+        let mut hi = [0u16; 256];
+        for x in 1..256usize {
+            lo[x] = t.exp[(lc + t.log[x]) as usize] as u16;
+            hi[x] = t.exp[(lc + t.log[x << 8]) as usize] as u16;
+        }
+        (lo, hi)
+    }
+
+    #[inline]
+    fn nib_product(tabs: &[[u16; 16]; 4], s: u16) -> u16 {
+        tabs[0][(s & 0xf) as usize]
+            ^ tabs[1][((s >> 4) & 0xf) as usize]
+            ^ tabs[2][((s >> 8) & 0xf) as usize]
+            ^ tabs[3][(s >> 12) as usize]
+    }
+
+    #[inline]
+    fn byte_product(lo: &[u16; 256], hi: &[u16; 256], s: u16) -> u16 {
+        lo[(s & 0xff) as usize] ^ hi[(s >> 8) as usize]
+    }
+
+    pub(crate) fn mul_slice(c: Gf65536, src: &[Gf65536], dst: &mut [Gf65536]) {
+        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+        if c.raw() == 0 {
+            dst.fill(Gf65536::new(0));
+            return;
+        }
+        if c.raw() == 1 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let t = tables::tables65536();
+        if src.len() < SPLIT_MIN {
+            let lc = t.log[c.raw() as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = if s.raw() == 0 {
+                    Gf65536::new(0)
+                } else {
+                    Gf65536::new(t.exp[(lc + t.log[s.raw() as usize]) as usize] as u16)
+                };
+            }
+            return;
+        }
+        if src.len() < BYTE_TABLE_MIN {
+            let tabs = nibble_tables(t, c.raw());
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = Gf65536::new(nib_product(&tabs, s.raw()));
+            }
+            return;
+        }
+        let (lo, hi) = byte_tables(t, c.raw());
+        // Four elements per block: one 64-bit word of packed products.
+        let mut d_blocks = dst.chunks_exact_mut(4);
+        let mut s_blocks = src.chunks_exact(4);
+        for (db, sb) in (&mut d_blocks).zip(&mut s_blocks) {
+            for (d, s) in db.iter_mut().zip(sb) {
+                *d = Gf65536::new(byte_product(&lo, &hi, s.raw()));
+            }
+        }
+        for (d, s) in d_blocks.into_remainder().iter_mut().zip(s_blocks.remainder()) {
+            *d = Gf65536::new(byte_product(&lo, &hi, s.raw()));
+        }
+    }
+
+    pub(crate) fn addmul_slice(c: Gf65536, src: &[Gf65536], dst: &mut [Gf65536]) {
+        assert_eq!(src.len(), dst.len(), "addmul_slice length mismatch");
+        if c.raw() == 0 {
+            return;
+        }
+        if c.raw() == 1 {
+            super::xor_u16_repr(src, dst, Gf65536::raw, Gf65536::new);
+            return;
+        }
+        let t = tables::tables65536();
+        if src.len() < SPLIT_MIN {
+            let lc = t.log[c.raw() as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                if s.raw() != 0 {
+                    *d = Gf65536::new(
+                        d.raw() ^ t.exp[(lc + t.log[s.raw() as usize]) as usize] as u16,
+                    );
+                }
+            }
+            return;
+        }
+        if src.len() < BYTE_TABLE_MIN {
+            let tabs = nibble_tables(t, c.raw());
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = Gf65536::new(d.raw() ^ nib_product(&tabs, s.raw()));
+            }
+            return;
+        }
+        let (lo, hi) = byte_tables(t, c.raw());
+        let mut d_blocks = dst.chunks_exact_mut(4);
+        let mut s_blocks = src.chunks_exact(4);
+        for (db, sb) in (&mut d_blocks).zip(&mut s_blocks) {
+            for (d, s) in db.iter_mut().zip(sb) {
+                *d = Gf65536::new(d.raw() ^ byte_product(&lo, &hi, s.raw()));
+            }
+        }
+        for (d, s) in d_blocks.into_remainder().iter_mut().zip(s_blocks.remainder()) {
+            *d = Gf65536::new(d.raw() ^ byte_product(&lo, &hi, s.raw()));
+        }
+    }
+
+    /// Fused `dst[i] += Σ_j coeffs[j] * srcs[j][i]`: one split-table
+    /// pair per live source is built up front, then the accumulator is
+    /// visited exactly once — every source's product XORs into a
+    /// register before the single store. Compared with one
+    /// [`addmul_slice`] pass per source this removes `k - 1`
+    /// load+store round-trips over `dst` per element, which is the
+    /// dominant traffic of a generator-matrix row application.
+    pub(crate) fn addmul_rows(coeffs: &[Gf65536], srcs: &[&[Gf65536]], dst: &mut [Gf65536]) {
+        super::check_rows_shape(coeffs, srcs, dst);
+        if dst.len() < SPLIT_MIN {
+            for (&c, src) in coeffs.iter().zip(srcs) {
+                addmul_slice(c, src, dst);
+            }
+            return;
+        }
+        let t = tables::tables65536();
+        let len = dst.len();
+        if len < BYTE_TABLE_MIN {
+            let live: Vec<([[u16; 16]; 4], &[Gf65536])> = coeffs
+                .iter()
+                .zip(srcs)
+                .filter(|(c, _)| c.raw() != 0)
+                .map(|(&c, &src)| (nibble_tables(t, c.raw()), &src[..len]))
+                .collect();
+            for (i, d) in dst.iter_mut().enumerate() {
+                let mut acc = d.raw();
+                for (tabs, src) in &live {
+                    acc ^= nib_product(tabs, src[i].raw());
+                }
+                *d = Gf65536::new(acc);
+            }
+            return;
+        }
+        // Byte tier: prepared tables + the shared fused group loop.
+        let live_tables: Vec<super::PreparedMul65536> = coeffs
+            .iter()
+            .filter(|c| c.raw() != 0)
+            .map(|&c| super::PreparedMul65536::new(c))
+            .collect();
+        let live_srcs: Vec<&[Gf65536]> = coeffs
+            .iter()
+            .zip(srcs)
+            .filter(|(c, _)| c.raw() != 0)
+            .map(|(_, &src)| src)
+            .collect();
+        super::addmul_rows_prepared(&live_tables, &live_srcs, dst);
+    }
+
+    pub(crate) fn mul_slice_in_place(c: Gf65536, buf: &mut [Gf65536]) {
+        if c.raw() == 0 {
+            buf.fill(Gf65536::new(0));
+            return;
+        }
+        if c.raw() == 1 {
+            return;
+        }
+        let t = tables::tables65536();
+        if buf.len() < SPLIT_MIN {
+            let lc = t.log[c.raw() as usize];
+            for b in buf.iter_mut() {
+                if b.raw() != 0 {
+                    *b = Gf65536::new(t.exp[(lc + t.log[b.raw() as usize]) as usize] as u16);
+                }
+            }
+            return;
+        }
+        if buf.len() < BYTE_TABLE_MIN {
+            let tabs = nibble_tables(t, c.raw());
+            for b in buf.iter_mut() {
+                *b = Gf65536::new(nib_product(&tabs, b.raw()));
+            }
+            return;
+        }
+        let (lo, hi) = byte_tables(t, c.raw());
+        for b in buf.iter_mut() {
+            *b = Gf65536::new(byte_product(&lo, &hi, b.raw()));
+        }
+    }
+}
+
+/// Shared shape assertions for the fused `addmul_rows` kernels.
+#[inline]
+fn check_rows_shape<T>(coeffs: &[T], srcs: &[&[T]], dst: &[T]) {
+    assert_eq!(coeffs.len(), srcs.len(), "addmul_rows shape mismatch");
+    for src in srcs {
+        assert_eq!(src.len(), dst.len(), "addmul_rows length mismatch");
+    }
+}
+
+use crate::field::Gf65536;
+use crate::tables;
+
+/// A GF(2^16) multiplier prepared into low/high byte split tables:
+/// `lo[x] = c * x`, `hi[x] = c * (x << 8)`, so
+/// `c * s = lo[s & 0xff] ^ hi[s >> 8]` — 1 KiB per multiplier,
+/// L1-resident, two loads per element.
+///
+/// Building a table costs 510 log/exp products, so preparation pays
+/// once the multiplier is applied across at least ~1 KiB of data — or,
+/// better, when the same prepared table is reused across many calls:
+/// a Reed-Solomon generator matrix is fixed per `(n, k)` geometry, so
+/// its `n·k` prepared tables amortize over every value ever encoded.
+///
+/// # Examples
+///
+/// ```
+/// use mvbc_gf::{Field, Gf65536, PreparedMul65536};
+///
+/// let c = Gf65536::new(0x1d2c);
+/// let p = PreparedMul65536::new(c);
+/// let x = Gf65536::new(0xbeef);
+/// assert_eq!(p.mul(x), c * x);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedMul65536 {
+    lo: [u16; 256],
+    hi: [u16; 256],
+}
+
+impl PreparedMul65536 {
+    /// Prepares the split tables for multiplier `c` (any `c`, including
+    /// 0 and 1).
+    pub fn new(c: Gf65536) -> Self {
+        let mut lo = [0u16; 256];
+        let mut hi = [0u16; 256];
+        if c.raw() != 0 {
+            let t = tables::tables65536();
+            let lc = t.log[c.raw() as usize];
+            for x in 1..256usize {
+                lo[x] = t.exp[(lc + t.log[x]) as usize] as u16;
+                hi[x] = t.exp[(lc + t.log[x << 8]) as usize] as u16;
+            }
+        }
+        PreparedMul65536 { lo, hi }
+    }
+
+    /// `c * x` through the prepared tables.
+    #[inline]
+    pub fn mul(&self, x: Gf65536) -> Gf65536 {
+        Gf65536::new(self.product(x.raw()))
+    }
+
+    #[inline]
+    fn product(&self, s: u16) -> u16 {
+        self.lo[(s & 0xff) as usize] ^ self.hi[(s >> 8) as usize]
+    }
+}
+
+/// `dst[i] = Σ_j tables[j] * srcs[j][i]` — overwrite: the previous
+/// contents of `dst` are not read, saving the accumulator load of
+/// [`addmul_rows_prepared`] when the destination starts from zero
+/// (every striped-codec row does).
+///
+/// # Panics
+///
+/// Panics when `tables` and `srcs` differ in length, or any source
+/// differs in length from `dst`.
+pub fn mul_rows_prepared(tables: &[PreparedMul65536], srcs: &[&[Gf65536]], dst: &mut [Gf65536]) {
+    assert_eq!(tables.len(), srcs.len(), "prepared rows shape mismatch");
+    for src in srcs {
+        assert_eq!(src.len(), dst.len(), "prepared rows length mismatch");
+    }
+    if tables.is_empty() {
+        dst.fill(Gf65536::new(0));
+        return;
+    }
+    fused_groups::<false>(tables, srcs, dst);
+}
+
+/// `dst[i] += Σ_j tables[j] * srcs[j][i]` with prepared multipliers.
+///
+/// # Panics
+///
+/// Panics when `tables` and `srcs` differ in length, or any source
+/// differs in length from `dst`.
+pub fn addmul_rows_prepared(tables: &[PreparedMul65536], srcs: &[&[Gf65536]], dst: &mut [Gf65536]) {
+    assert_eq!(tables.len(), srcs.len(), "prepared rows shape mismatch");
+    for src in srcs {
+        assert_eq!(src.len(), dst.len(), "prepared rows length mismatch");
+    }
+    if tables.is_empty() {
+        return;
+    }
+    fused_groups::<true>(tables, srcs, dst);
+}
+
+/// Dispatches to monomorphic fixed-arity loops in groups of three
+/// sources: a dynamic source loop inside the element loop defeats
+/// unrolling and hides the table base pointers behind an extra
+/// indirection, while groups of three bound the accumulator
+/// round-trips at `ceil(k / 3)` passes over `dst`. `ACC = false`
+/// applies only to the first group (it overwrites); later groups
+/// always accumulate.
+fn fused_groups<const ACC: bool>(
+    tables: &[PreparedMul65536],
+    srcs: &[&[Gf65536]],
+    dst: &mut [Gf65536],
+) {
+    let mut i = 0;
+    let mut first = true;
+    while tables.len() - i >= 3 {
+        if first && !ACC {
+            fused3::<false>(
+                (&tables[i], srcs[i]),
+                (&tables[i + 1], srcs[i + 1]),
+                (&tables[i + 2], srcs[i + 2]),
+                dst,
+            );
+        } else {
+            fused3::<true>(
+                (&tables[i], srcs[i]),
+                (&tables[i + 1], srcs[i + 1]),
+                (&tables[i + 2], srcs[i + 2]),
+                dst,
+            );
+        }
+        first = false;
+        i += 3;
+    }
+    match tables.len() - i {
+        1 if first && !ACC => fused1::<false>((&tables[i], srcs[i]), dst),
+        1 => fused1::<true>((&tables[i], srcs[i]), dst),
+        2 if first && !ACC => fused2::<false>((&tables[i], srcs[i]), (&tables[i + 1], srcs[i + 1]), dst),
+        2 => fused2::<true>((&tables[i], srcs[i]), (&tables[i + 1], srcs[i + 1]), dst),
+        _ => {}
+    }
+}
+
+/// One prepared source; `ACC` selects accumulate vs overwrite.
+fn fused1<const ACC: bool>(a: (&PreparedMul65536, &[Gf65536]), dst: &mut [Gf65536]) {
+    let (ta, sa) = a;
+    for (d, s) in dst.iter_mut().zip(sa) {
+        let base = if ACC { d.raw() } else { 0 };
+        *d = Gf65536::new(base ^ ta.product(s.raw()));
+    }
+}
+
+/// Two prepared sources fused into one pass; four elements per block
+/// for unrolled, independent lookup chains.
+fn fused2<const ACC: bool>(
+    a: (&PreparedMul65536, &[Gf65536]),
+    b: (&PreparedMul65536, &[Gf65536]),
+    dst: &mut [Gf65536],
+) {
+    let (ta, sa) = a;
+    let (tb, sb) = b;
+    let mut d_blocks = dst.chunks_exact_mut(4);
+    let mut a_blocks = sa.chunks_exact(4);
+    let mut b_blocks = sb.chunks_exact(4);
+    for ((db, ab), bb) in (&mut d_blocks).zip(&mut a_blocks).zip(&mut b_blocks) {
+        for i in 0..4 {
+            let base = if ACC { db[i].raw() } else { 0 };
+            db[i] = Gf65536::new(base ^ ta.product(ab[i].raw()) ^ tb.product(bb[i].raw()));
+        }
+    }
+    for ((d, s_a), s_b) in d_blocks
+        .into_remainder()
+        .iter_mut()
+        .zip(a_blocks.remainder())
+        .zip(b_blocks.remainder())
+    {
+        let base = if ACC { d.raw() } else { 0 };
+        *d = Gf65536::new(base ^ ta.product(s_a.raw()) ^ tb.product(s_b.raw()));
+    }
+}
+
+/// Three prepared sources fused into one pass; four elements per block
+/// for unrolled, independent lookup chains.
+fn fused3<const ACC: bool>(
+    a: (&PreparedMul65536, &[Gf65536]),
+    b: (&PreparedMul65536, &[Gf65536]),
+    c: (&PreparedMul65536, &[Gf65536]),
+    dst: &mut [Gf65536],
+) {
+    let (ta, sa) = a;
+    let (tb, sb) = b;
+    let (tc, sc) = c;
+    let mut d_blocks = dst.chunks_exact_mut(4);
+    let mut a_blocks = sa.chunks_exact(4);
+    let mut b_blocks = sb.chunks_exact(4);
+    let mut c_blocks = sc.chunks_exact(4);
+    for (((db, ab), bb), cb) in
+        (&mut d_blocks).zip(&mut a_blocks).zip(&mut b_blocks).zip(&mut c_blocks)
+    {
+        for i in 0..4 {
+            let base = if ACC { db[i].raw() } else { 0 };
+            db[i] = Gf65536::new(
+                base ^ ta.product(ab[i].raw()) ^ tb.product(bb[i].raw()) ^ tc.product(cb[i].raw()),
+            );
+        }
+    }
+    for (((d, s_a), s_b), s_c) in d_blocks
+        .into_remainder()
+        .iter_mut()
+        .zip(a_blocks.remainder())
+        .zip(b_blocks.remainder())
+        .zip(c_blocks.remainder())
+    {
+        let base = if ACC { d.raw() } else { 0 };
+        *d = Gf65536::new(
+            base ^ ta.product(s_a.raw()) ^ tb.product(s_b.raw()) ^ tc.product(s_c.raw()),
+        );
+    }
+}
+
+/// `dst[i] ^= src[i]` for u8-repr fields, eight elements (one `u64`
+/// word) per `chunks_exact` block. The byte↔word assembly is safe code
+/// the compiler folds into single 64-bit loads/stores.
+#[inline]
+fn xor_u8_repr<T: Copy>(src: &[T], dst: &mut [T], raw: impl Fn(T) -> u8, new: impl Fn(u8) -> T) {
+    let mut d_blocks = dst.chunks_exact_mut(8);
+    let mut s_blocks = src.chunks_exact(8);
+    for (db, sb) in (&mut d_blocks).zip(&mut s_blocks) {
+        let mut dw = [0u8; 8];
+        let mut sw = [0u8; 8];
+        for i in 0..8 {
+            dw[i] = raw(db[i]);
+            sw[i] = raw(sb[i]);
+        }
+        let w = u64::from_le_bytes(dw) ^ u64::from_le_bytes(sw);
+        for (d, &b) in db.iter_mut().zip(w.to_le_bytes().iter()) {
+            *d = new(b);
+        }
+    }
+    for (d, s) in d_blocks.into_remainder().iter_mut().zip(s_blocks.remainder()) {
+        *d = new(raw(*d) ^ raw(*s));
+    }
+}
+
+/// `dst[i] ^= src[i]` for u16-repr fields, four elements (one `u64`
+/// word) per `chunks_exact` block.
+#[inline]
+fn xor_u16_repr<T: Copy>(src: &[T], dst: &mut [T], raw: impl Fn(T) -> u16, new: impl Fn(u16) -> T) {
+    let mut d_blocks = dst.chunks_exact_mut(4);
+    let mut s_blocks = src.chunks_exact(4);
+    for (db, sb) in (&mut d_blocks).zip(&mut s_blocks) {
+        let mut dw = 0u64;
+        let mut sw = 0u64;
+        for i in 0..4 {
+            dw |= u64::from(raw(db[i])) << (16 * i);
+            sw |= u64::from(raw(sb[i])) << (16 * i);
+        }
+        let w = dw ^ sw;
+        for (i, d) in db.iter_mut().enumerate() {
+            *d = new((w >> (16 * i)) as u16);
+        }
+    }
+    for (d, s) in d_blocks.into_remainder().iter_mut().zip(s_blocks.remainder()) {
+        *d = new(raw(*d) ^ raw(*s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{kernels, Field, Gf16, Gf256, Gf65536};
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect()
+    }
+
+    /// Every table tier and every tail shape against the scalar spec:
+    /// lengths straddle the log-domain→nibble and nibble→byte-table
+    /// thresholds and the 4/8-element packing blocks.
+    fn check_tiers<F: Field>() {
+        let lens = [
+            0usize, 1, 3, 7, 8, 9, 31, 32, 33, 63, 64, 65, 255, 256, 257, 1023, 1024, 1025, 4097,
+        ];
+        for (i, &len) in lens.iter().enumerate() {
+            let seed = 0xC0DE + i as u64;
+            let src: Vec<F> = pseudo_random(len, seed).into_iter().map(F::from_u64).collect();
+            let acc: Vec<F> =
+                pseudo_random(len, seed ^ 0xbeef).into_iter().map(F::from_u64).collect();
+            for craw in [0u64, 1, 2, 3, 0x0b, 0x55, 0xa7, F::ORDER / 2 + 1, F::ORDER - 1] {
+                let c = F::from_u64(craw);
+
+                let mut fast = vec![F::ZERO; len];
+                let mut slow = vec![F::ZERO; len];
+                kernels::mul_slice(c, &src, &mut fast);
+                kernels::mul_slice_scalar(c, &src, &mut slow);
+                assert_eq!(fast, slow, "mul_slice len={len} c={craw:#x}");
+
+                let mut fast = acc.clone();
+                let mut slow = acc.clone();
+                kernels::addmul_slice(c, &src, &mut fast);
+                kernels::addmul_slice_scalar(c, &src, &mut slow);
+                assert_eq!(fast, slow, "addmul_slice len={len} c={craw:#x}");
+
+                let mut fast = src.clone();
+                kernels::mul_slice_in_place(c, &mut fast);
+                let expect: Vec<F> = src.iter().map(|&s| c * s).collect();
+                assert_eq!(fast, expect, "mul_slice_in_place len={len} c={craw:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_tiers_match_scalar_gf16() {
+        check_tiers::<Gf16>();
+    }
+
+    #[test]
+    fn packed_tiers_match_scalar_gf256() {
+        check_tiers::<Gf256>();
+    }
+
+    #[test]
+    fn packed_tiers_match_scalar_gf65536() {
+        check_tiers::<Gf65536>();
+    }
+
+    /// The fused row kernel against its scalar spec: every table tier,
+    /// several source counts, and coefficient vectors that include the
+    /// short-circuited 0 and 1 multipliers.
+    fn check_rows<F: Field>() {
+        for &len in &[0usize, 1, 31, 33, 257, 1023, 1025, 4097] {
+            for k in [0usize, 1, 2, 3, 5] {
+                let srcs: Vec<Vec<F>> = (0..k)
+                    .map(|j| {
+                        pseudo_random(len, 0xAB5E + j as u64 * 31 + len as u64)
+                            .into_iter()
+                            .map(F::from_u64)
+                            .collect()
+                    })
+                    .collect();
+                let src_refs: Vec<&[F]> = srcs.iter().map(Vec::as_slice).collect();
+                let coeffs: Vec<F> = (0..k)
+                    .map(|j| F::from_u64([0u64, 1, 2, 0x55, F::ORDER - 1][j % 5]))
+                    .collect();
+                let acc: Vec<F> =
+                    pseudo_random(len, len as u64 ^ 0xF00D).into_iter().map(F::from_u64).collect();
+                let mut fast = acc.clone();
+                let mut slow = acc.clone();
+                kernels::addmul_rows(&coeffs, &src_refs, &mut fast);
+                kernels::addmul_rows_scalar(&coeffs, &src_refs, &mut slow);
+                assert_eq!(fast, slow, "addmul_rows len={len} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_rows_match_scalar_gf16() {
+        check_rows::<Gf16>();
+    }
+
+    #[test]
+    fn fused_rows_match_scalar_gf256() {
+        check_rows::<Gf256>();
+    }
+
+    #[test]
+    fn fused_rows_match_scalar_gf65536() {
+        check_rows::<Gf65536>();
+    }
+
+    /// The prepared-table API against the scalar spec, in both
+    /// overwrite and accumulate modes, across group shapes 0..=7.
+    #[test]
+    fn prepared_rows_match_scalar() {
+        use crate::{addmul_rows_prepared, mul_rows_prepared, PreparedMul65536};
+        for &len in &[0usize, 1, 3, 4, 5, 257, 1025] {
+            for k in 0..=7usize {
+                let coeffs: Vec<Gf65536> = (0..k)
+                    .map(|j| Gf65536::from_u64([0u64, 1, 7, 0x1d2c, 0xffff][j % 5]))
+                    .collect();
+                let tables: Vec<PreparedMul65536> =
+                    coeffs.iter().map(|&c| PreparedMul65536::new(c)).collect();
+                let srcs: Vec<Vec<Gf65536>> = (0..k)
+                    .map(|j| {
+                        pseudo_random(len, 0xD00D + j as u64)
+                            .into_iter()
+                            .map(Gf65536::from_u64)
+                            .collect()
+                    })
+                    .collect();
+                let src_refs: Vec<&[Gf65536]> = srcs.iter().map(Vec::as_slice).collect();
+                let acc: Vec<Gf65536> =
+                    pseudo_random(len, 0xACC + len as u64).into_iter().map(Gf65536::from_u64).collect();
+
+                let mut over = acc.clone();
+                mul_rows_prepared(&tables, &src_refs, &mut over);
+                let mut expect = vec![Gf65536::ZERO; len];
+                kernels::addmul_rows_scalar(&coeffs, &src_refs, &mut expect);
+                assert_eq!(over, expect, "mul_rows_prepared len={len} k={k}");
+
+                let mut add = acc.clone();
+                addmul_rows_prepared(&tables, &src_refs, &mut add);
+                let mut expect = acc.clone();
+                kernels::addmul_rows_scalar(&coeffs, &src_refs, &mut expect);
+                assert_eq!(add, expect, "addmul_rows_prepared len={len} k={k}");
+            }
+        }
+    }
+
+    /// The XOR fast path is exercised with misaligned tails of every
+    /// residue class modulo the packing block.
+    #[test]
+    fn xor_path_covers_all_tail_residues() {
+        for len in 0..40usize {
+            let src: Vec<Gf65536> =
+                pseudo_random(len, len as u64 + 1).into_iter().map(Gf65536::from_u64).collect();
+            let acc: Vec<Gf65536> =
+                pseudo_random(len, len as u64 + 77).into_iter().map(Gf65536::from_u64).collect();
+            let mut fast = acc.clone();
+            let mut slow = acc.clone();
+            kernels::addmul_slice(Gf65536::ONE, &src, &mut fast);
+            kernels::addmul_slice_scalar(Gf65536::ONE, &src, &mut slow);
+            assert_eq!(fast, slow, "xor tail len={len}");
+
+            let src8: Vec<Gf256> =
+                pseudo_random(len, len as u64 + 5).into_iter().map(Gf256::from_u64).collect();
+            let mut fast8 = vec![Gf256::new(0xa5); len];
+            let mut slow8 = fast8.clone();
+            kernels::addmul_slice(Gf256::ONE, &src8, &mut fast8);
+            kernels::addmul_slice_scalar(Gf256::ONE, &src8, &mut slow8);
+            assert_eq!(fast8, slow8, "xor tail (u8 repr) len={len}");
+        }
+    }
+}

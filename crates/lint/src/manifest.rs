@@ -175,6 +175,9 @@ pub struct Manifest {
     pub wall_clock: Vec<String>,
     /// Identifiers that source OS entropy / unseeded randomness.
     pub unseeded_rng: Vec<String>,
+    /// Identifiers that read the machine's thread count (pool sizing
+    /// may never influence committed bytes or trace digests).
+    pub thread_count: Vec<String>,
 
     /// Path prefixes where unordered-container state is forbidden.
     pub hash_state_zones: Vec<String>,
@@ -233,6 +236,7 @@ impl Manifest {
                 "unseeded_rng",
                 &["thread_rng", "from_entropy", "OsRng"],
             )?,
+            thread_count: list("determinism", "thread_count", &["available_parallelism"])?,
             hash_state_zones: list("hash_state", "zones", &[])?,
             trace_order_files: list("trace_order", "files", &[])?,
             panic_zones: list("panics", "zones", &[])?,

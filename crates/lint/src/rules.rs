@@ -30,6 +30,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "determinism.wall_clock",
     "determinism.sleep",
     "determinism.unseeded_rng",
+    "determinism.thread_count",
     "determinism.hash_state",
     "trace.hash_iter",
     "unsafe.missing_safety",
@@ -328,6 +329,18 @@ fn determinism_rules(
                      from an explicit seed"
                 ),
             ));
+        } else if manifest.thread_count.iter().any(|w| w == id) {
+            raw.push(Diagnostic::new(
+                "determinism.thread_count",
+                path,
+                t.line,
+                format!(
+                    "`{id}` makes behaviour depend on the machine's core count in a \
+                     determinism zone; a pool size may only trade wall-clock time — \
+                     suppress with a justification proving committed bytes and trace \
+                     digests are pool-size-invariant"
+                ),
+            ));
         }
     }
 }
@@ -609,6 +622,20 @@ required_context = ["round", "node", "vtime"]
     fn cfg_not_test_is_production_code() {
         let src = "#[cfg(not(test))]\nfn g() { let t: Instant = x; }";
         assert_eq!(rules_hit("crates/proto/src/lib.rs", src), ["determinism.wall_clock"]);
+    }
+
+    #[test]
+    fn thread_count_flagged_and_suppressible() {
+        let src = "fn f() -> usize { std::thread::available_parallelism().map_or(1, |n| n.get()) }";
+        assert_eq!(
+            rules_hit("crates/proto/src/lib.rs", src),
+            ["determinism.thread_count"]
+        );
+        assert!(rules_hit("crates/other/src/lib.rs", src).is_empty());
+        let justified = format!(
+            "// mvbc-lint: allow(determinism.thread_count): workers shard disjoint bands, bytes pinned invariant\n{src}"
+        );
+        assert!(rules_hit("crates/proto/src/lib.rs", &justified).is_empty());
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Seeds exactly one `determinism.thread_count` violation.
+
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -12,9 +12,10 @@
 //! [`LaneMux`] implements exactly that:
 //!
 //! - [`LaneMux::spawn`] starts a lane: a blocking closure over its own
-//!   lane-local [`NodeCtx`] running on a dedicated thread. The closure
-//!   is unchanged protocol code — re-entrant functions like
-//!   `run_broadcast_slot` run as-is.
+//!   lane-local [`NodeCtx`] running on a pooled worker thread (see
+//!   [`crate::lanepool`] — finished lanes' workers are kept warm and
+//!   reused). The closure is unchanged protocol code — re-entrant
+//!   functions like `run_broadcast_slot` run as-is.
 //! - [`LaneMux::step`] advances *every* live lane by one round: it
 //!   collects each lane's round submission (or completion), forwards the
 //!   union through the real [`NodeCtx`] in **one** physical
@@ -75,10 +76,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use crossbeam::channel::{self, Receiver, Sender};
 
+use crate::lanepool::{self, PoolHandle};
 use crate::{CoordMsg, Inbox, InboxPool, NodeCtx};
 
 /// Identifier of one spawned lane, unique within its [`LaneMux`].
@@ -101,7 +102,7 @@ struct Lane<O> {
     scope: String,
     up: Receiver<CoordMsg>,
     down: Sender<Inbox>,
-    join: Option<JoinHandle<O>>,
+    join: Option<PoolHandle<O>>,
     rounds: u64,
     logical_bits: u64,
 }
@@ -158,9 +159,9 @@ impl<O: Send + 'static> LaneMux<O> {
     /// message tags must live under `scope` (see [`crate::scoped_tag`]);
     /// incoming messages are routed to the lane by that scope.
     ///
-    /// The lane begins executing immediately on its own thread, up to its
-    /// first `end_round`; it makes no further progress until the next
-    /// [`LaneMux::step`].
+    /// The lane begins executing immediately on a pooled worker thread,
+    /// up to its first `end_round`; it makes no further progress until
+    /// the next [`LaneMux::step`].
     ///
     /// # Panics
     ///
@@ -185,7 +186,9 @@ impl<O: Send + 'static> LaneMux<O> {
         let round = ctx.round();
         let vtime = ctx.vtime();
         let metrics = ctx.metrics().clone();
-        let join = std::thread::spawn(move || {
+        // Lanes run on pooled workers: a warm worker from an earlier
+        // finished lane is reused when one is idle (see `lanepool`).
+        let join = lanepool::run(move || {
             let mut lane_ctx = NodeCtx {
                 id,
                 n,

@@ -65,6 +65,7 @@
 
 pub mod bits;
 pub mod events;
+pub mod lanepool;
 pub mod lanes;
 pub mod net;
 pub mod trace;

@@ -1,0 +1,75 @@
+//! Process-wide worker-count knob for stripe-sharded codec kernels.
+//!
+//! The striped codec shards its row-application loops across contiguous
+//! stripe bands (see `striped::apply_rows`): worker `w` owns stripes
+//! `[lo_w, hi_w)` of every output row, so each element is computed by
+//! exactly one worker in exactly the order the serial loop would use —
+//! committed bytes are identical for every worker count. The knob here
+//! only trades wall-clock time; it can never change output bytes. The
+//! `mvbc-lint` rule `determinism.thread_count` audits exactly this
+//! invariant.
+//!
+//! Resolution order for the effective worker count:
+//!
+//! 1. an explicit per-code override ([`StripedCode::with_threads`]),
+//! 2. the process-wide knob ([`set_codec_threads`], wired to the
+//!    `--codec-threads` CLI flag),
+//! 3. the machine's available parallelism (the default).
+//!
+//! [`StripedCode::with_threads`]: crate::StripedCode::with_threads
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` means "unset": resolve from the machine's available parallelism.
+static CODEC_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide codec worker count.
+///
+/// `1` reproduces fully serial kernels. The count bounds only how many
+/// stripe bands are worked concurrently; output bytes are identical for
+/// every value.
+///
+/// # Panics
+///
+/// Panics when `threads` is zero — reject zero at the flag-parsing
+/// layer with a structured error instead.
+pub fn set_codec_threads(threads: usize) {
+    assert!(threads >= 1, "codec threads must be at least 1");
+    CODEC_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The effective process-wide codec worker count.
+///
+/// Defaults to the machine's available parallelism until
+/// [`set_codec_threads`] is called.
+pub fn codec_threads() -> usize {
+    match CODEC_THREADS.load(Ordering::Relaxed) {
+        // mvbc-lint: allow(determinism.thread_count): worker count only shards disjoint stripe bands; committed bytes are pinned pool-size-invariant by the equivalence suite
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_resolves_to_at_least_one() {
+        assert!(codec_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_knob_wins() {
+        set_codec_threads(3);
+        assert_eq!(codec_threads(), 3);
+        set_codec_threads(1);
+        assert_eq!(codec_threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "codec threads must be at least 1")]
+    fn zero_rejected() {
+        set_codec_threads(0);
+    }
+}

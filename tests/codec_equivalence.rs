@@ -157,6 +157,54 @@ proptest! {
     }
 }
 
+/// Fused row kernels == scalar row loops for all three fields, across
+/// lengths that straddle every dispatch threshold of the packed kernels
+/// (log-domain below 32, split tables above, byte tables above 1024),
+/// including odd lengths and unaligned tails around the block size.
+#[test]
+fn fused_row_kernels_equal_scalar_all_fields() {
+    fn check<F: Field>() {
+        for &len in &[0usize, 1, 31, 33, 257, 1023, 1025, 4097] {
+            for k in [1usize, 2, 3, 5, 8] {
+                let srcs: Vec<Vec<F>> = (0..k).map(|j| elems::<F>(len, 77 ^ j as u64)).collect();
+                let src_refs: Vec<&[F]> = srcs.iter().map(Vec::as_slice).collect();
+                let coeffs = elems::<F>(k, 0x51);
+                let mut fast = elems::<F>(len, 0x99);
+                let mut slow = fast.clone();
+                kernels::addmul_rows(&coeffs, &src_refs, &mut fast);
+                kernels::addmul_rows_scalar(&coeffs, &src_refs, &mut slow);
+                assert_eq!(fast, slow, "len {len}, k {k}");
+            }
+        }
+    }
+    check::<Gf16>();
+    check::<Gf256>();
+    check::<Gf65536>();
+}
+
+/// The codec worker count is a pure wall-clock knob: encode, decode,
+/// extend and consistency produce byte-identical results at 1, 2 and 8
+/// workers, on a value large enough that the stripe bands actually
+/// shard (the lint rule `determinism.thread_count` audits this
+/// invariant statically; this test pins it dynamically).
+#[test]
+fn codec_worker_count_never_changes_bytes() {
+    let len = 400_000; // ~66k stripes at k = 3: enough to shard 8 ways
+    let value = mvbc_systests::test_value(len, 13);
+    let serial = StripedCode::c2t(7, 2, len).unwrap().with_threads(1);
+    let symbols = serial.encode_value(&value).unwrap();
+    let picks: Vec<(usize, Symbol)> = symbols.iter().cloned().enumerate().skip(4).collect();
+    let all: Vec<(usize, Symbol)> = symbols.iter().cloned().enumerate().collect();
+    assert_eq!(serial.decode_value(&picks).unwrap(), value);
+    for workers in [2usize, 8] {
+        let code = StripedCode::c2t(7, 2, len).unwrap().with_threads(workers);
+        assert_eq!(code.encode_value(&value).unwrap(), symbols, "{workers} workers");
+        assert_eq!(code.decode_value(&picks).unwrap(), value, "{workers} workers");
+        assert_eq!(code.extend_symbols(&picks).unwrap(), symbols, "{workers} workers");
+        assert!(code.is_consistent(&all).unwrap(), "{workers} workers");
+    }
+}
+
 #[test]
 fn decode_error_taxonomy_matches_reference() {
     let code = StripedCode::c2t(7, 2, 40).unwrap();
